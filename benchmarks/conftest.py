@@ -1,0 +1,58 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and prints the corresponding rows/series.  The Figure 8, 9, 10 and
+headline benchmarks all consume the same 37-input sweep, which is expensive,
+so it is computed once per session and cached here.
+
+Environment knobs:
+
+* ``REPRO_QUICK=1``  — run a reduced (but still representative) input set.
+* ``REPRO_WORKERS=N`` — override the number of worker cores (default 8).
+
+Rendered tables are also written to ``benchmarks/results/`` so the numbers
+can be archived next to ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.eval import figure9_benchmarks
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def quick_mode() -> bool:
+    """True when the reduced sweep was requested via REPRO_QUICK."""
+    return os.environ.get("REPRO_QUICK", "0") not in ("0", "", "false")
+
+
+def worker_count() -> int:
+    """Worker cores used by the sweep (the paper uses eight)."""
+    return int(os.environ.get("REPRO_WORKERS", "8"))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def sim_config() -> SimConfig:
+    """The paper's machine: eight in-order cores, Picos integrated."""
+    return SimConfig().with_cores(worker_count())
+
+
+@pytest.fixture(scope="session")
+def benchmark_sweep(sim_config):
+    """The Figure 9 sweep shared by the Figure 8/9/10/headline benchmarks."""
+    return figure9_benchmarks(sim_config, quick=quick_mode(),
+                              num_workers=worker_count())

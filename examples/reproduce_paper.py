@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper's evaluation in one go.
+
+Runs, in order: the Figure 7 overhead matrix, the Figure 6 MTT bounds, the
+Figure 9 benchmark sweep (with Figures 8 and 10 and the headline summary
+derived from it) and the Table II resource breakdown, printing each in the
+same rows/series the paper reports.  Use ``--quick`` for a reduced sweep
+(a few minutes instead of tens of minutes on slow machines).
+
+Run with::
+
+    python examples/reproduce_paper.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import SimConfig
+from repro.eval import (
+    benchmarks_report,
+    bounds_report,
+    default_task_sizes,
+    figure6_mtt_bounds,
+    figure7_overhead,
+    figure8_granularity,
+    figure9_benchmarks,
+    figure10_bounds_vs_measured,
+    format_table,
+    granularity_report,
+    headline_report,
+    headline_summary,
+    overhead_report,
+    resources_report,
+    table2_resources,
+)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced benchmark sweep and fewer tasks")
+    args = parser.parse_args()
+    config = SimConfig()
+    started = time.time()
+    num_tasks = 60 if args.quick else 120
+
+    banner("Figure 7 — lifetime Task Scheduling overhead (cycles per task)")
+    print(overhead_report(figure7_overhead(config, num_tasks=num_tasks)))
+
+    banner("Figure 6 — MTT-derived maximum speedup bounds (8 cores)")
+    curves = figure6_mtt_bounds(config, task_sizes=default_task_sizes(2, 5, 8),
+                                num_tasks=num_tasks)
+    print(bounds_report(curves))
+
+    banner("Figure 9 — benchmark sweep (speedup over serial)")
+    runs = figure9_benchmarks(config, quick=args.quick)
+    print(benchmarks_report(runs))
+
+    banner("Figure 8 — speedup versus task granularity")
+    print(granularity_report(figure8_granularity(runs), runtime="phentos"))
+
+    banner("Figure 10 — measured speedups versus MTT bounds")
+    comparisons = figure10_bounds_vs_measured(runs, config, curves)
+    rows = []
+    for platform, comparison in comparisons.items():
+        best = max(speedup for _, speedup in comparison.measured)
+        rows.append([platform, f"{best:.2f}x",
+                     len(comparison.violations(tolerance=1.15))])
+    print(format_table(["platform", "best measured speedup",
+                        "points above the analytic bound"], rows))
+
+    banner("Table II — FPGA resource usage breakdown")
+    print(resources_report(table2_resources(config)))
+
+    banner("Headline summary (abstract / conclusion numbers)")
+    print(headline_report(headline_summary(runs)))
+
+    print(f"\nTotal host time: {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e . --no-build-isolation --no-use-pep517`` and
+``python setup.py develop`` keep working on offline machines that lack the
+``wheel`` package (PEP 517 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

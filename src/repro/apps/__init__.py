@@ -1,0 +1,29 @@
+"""Benchmark applications: the paper's five programs plus micro-benchmarks."""
+
+from repro.apps.blackscholes import (
+    BlackscholesData,
+    blackscholes_program,
+    blackscholes_reference,
+)
+from repro.apps.granularity import task_chain_program, task_free_program
+from repro.apps.jacobi import jacobi_program, jacobi_reference
+from repro.apps.sparselu import sparselu_program, sparselu_reference
+from repro.apps.stream import stream_program, stream_reference
+from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+
+__all__ = [
+    "BlackscholesData",
+    "blackscholes_program",
+    "blackscholes_reference",
+    "task_chain_program",
+    "task_free_program",
+    "jacobi_program",
+    "jacobi_reference",
+    "sparselu_program",
+    "sparselu_reference",
+    "stream_program",
+    "stream_reference",
+    "DEFAULT_KERNEL_COSTS",
+    "BlockSpace",
+    "KernelCosts",
+]

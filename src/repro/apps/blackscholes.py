@@ -1,0 +1,147 @@
+"""Blackscholes: data-parallel option pricing (Financial Analysis domain).
+
+The benchmark evaluates the closed-form Black-Scholes price of a portfolio
+of European options.  The OmpSs version (parsec-ompss) partitions the
+portfolio into blocks of ``block_size`` options; each block becomes one task
+that reads the option parameters of its block and writes the corresponding
+prices.  There are no inter-task data dependences, so the program is highly
+data parallel and its behaviour is dominated by task granularity — exactly
+why the paper sweeps block sizes from 8 to 256 options for 4K and 16K
+portfolios (Figure 9).
+
+The numpy reference kernel implements the same closed-form formula so that
+small instances can be verified numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
+
+__all__ = [
+    "blackscholes_program",
+    "blackscholes_reference",
+    "BlackscholesData",
+    "PAPER_INPUTS",
+]
+
+#: The (portfolio size, block size) pairs evaluated in Figure 9.
+PAPER_INPUTS = [
+    ("4K", 8), ("4K", 16), ("4K", 32), ("4K", 64), ("4K", 128), ("4K", 256),
+    ("16K", 8), ("16K", 16), ("16K", 32), ("16K", 64), ("16K", 128),
+    ("16K", 256),
+]
+
+_SIZE_LABELS = {"4K": 4096, "16K": 16384}
+
+
+class BlackscholesData:
+    """Synthetic option portfolio plus the output price array."""
+
+    def __init__(self, num_options: int, seed: int = 7) -> None:
+        if num_options <= 0:
+            raise WorkloadError("num_options must be positive")
+        rng = np.random.default_rng(seed)
+        self.spot = rng.uniform(10.0, 200.0, num_options)
+        self.strike = rng.uniform(10.0, 200.0, num_options)
+        self.rate = rng.uniform(0.01, 0.1, num_options)
+        self.volatility = rng.uniform(0.05, 0.65, num_options)
+        self.expiry = rng.uniform(0.1, 2.0, num_options)
+        self.is_call = rng.integers(0, 2, num_options).astype(bool)
+        self.prices = np.zeros(num_options)
+
+    def __len__(self) -> int:
+        return len(self.prices)
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+def blackscholes_kernel(data: BlackscholesData, start: int, end: int) -> None:
+    """Price options ``start:end`` of ``data`` in place (reference kernel)."""
+    s = data.spot[start:end]
+    k = data.strike[start:end]
+    r = data.rate[start:end]
+    v = data.volatility[start:end]
+    t = data.expiry[start:end]
+    call = data.is_call[start:end]
+    d1 = (np.log(s / k) + (r + 0.5 * v * v) * t) / (v * np.sqrt(t))
+    d2 = d1 - v * np.sqrt(t)
+    call_price = s * _norm_cdf(d1) - k * np.exp(-r * t) * _norm_cdf(d2)
+    put_price = k * np.exp(-r * t) * _norm_cdf(-d2) - s * _norm_cdf(-d1)
+    data.prices[start:end] = np.where(call, call_price, put_price)
+
+
+def blackscholes_reference(data: BlackscholesData) -> np.ndarray:
+    """Price the whole portfolio at once; returns the price array."""
+    blackscholes_kernel(data, 0, len(data))
+    return data.prices.copy()
+
+
+def blackscholes_program(
+    portfolio: str = "4K",
+    block_size: int = 64,
+    costs: KernelCosts = DEFAULT_KERNEL_COSTS,
+    with_kernels: bool = False,
+    data: Optional[BlackscholesData] = None,
+    name: Optional[str] = None,
+) -> TaskProgram:
+    """Build the task program for one (portfolio, block size) input.
+
+    ``portfolio`` is either one of the paper's labels (``"4K"``, ``"16K"``)
+    or an integer-like string giving the option count directly.
+    """
+    num_options = _SIZE_LABELS.get(portfolio)
+    if num_options is None:
+        try:
+            num_options = int(portfolio)
+        except ValueError as exc:
+            raise WorkloadError(f"unknown portfolio size {portfolio!r}") from exc
+    if block_size <= 0 or block_size > num_options:
+        raise WorkloadError(
+            f"block_size must be in 1..{num_options}, got {block_size}"
+        )
+    if with_kernels and data is None:
+        data = BlackscholesData(num_options)
+    blocks = BlockSpace(base_address=0x6000_0000)
+    tasks: List[Task] = []
+    num_blocks = (num_options + block_size - 1) // block_size
+    for block in range(num_blocks):
+        start = block * block_size
+        end = min(start + block_size, num_options)
+        options_in_block = end - start
+        kernel = None
+        if with_kernels and data is not None:
+            def kernel(d=data, s=start, e=end) -> None:
+                blackscholes_kernel(d, s, e)
+        tasks.append(
+            Task(
+                index=block,
+                payload_cycles=options_in_block * costs.blackscholes_per_option,
+                dependences=(
+                    in_dep(blocks.address("inputs", block)),
+                    out_dep(blocks.address("prices", block)),
+                ),
+                name=f"bs_block_{block}",
+                kernel=kernel,
+            )
+        )
+    parameters: Dict[str, object] = {
+        "benchmark": "blackscholes",
+        "portfolio": portfolio,
+        "num_options": num_options,
+        "block_size": block_size,
+        "num_blocks": num_blocks,
+    }
+    return TaskProgram(
+        name=name or f"blackscholes-{portfolio}-B{block_size}",
+        tasks=tasks,
+        parameters=parameters,
+    )

@@ -1,0 +1,106 @@
+"""Task-Free and Task-Chain: the lifetime-overhead micro-benchmarks.
+
+Figure 7 of the paper measures the mean lifetime Task Scheduling overhead of
+each platform with two synthetic programs:
+
+* **Task-Free** generates independent tasks (no inter-task dependences) with
+  between 0 and 15 monitored pointer parameters each — every task gets fresh
+  addresses, so the dependence tracker never finds a predecessor.
+* **Task-Chain** generates a single chain of tasks where every task touches
+  the *same* set of monitored addresses (``inout``), so task *i+1* always
+  depends on task *i*.
+
+Both use (near-)empty payloads, so the elapsed time per task *is* the
+scheduling overhead.  They are also reused for the MTT-derived speedup
+bounds of Figure 6 and the granularity sweeps of Figures 8/10, where the
+payload duration becomes a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import WorkloadError
+from repro.picos.packets import MAX_DEPENDENCES
+from repro.runtime.task import Task, TaskProgram, inout_dep, out_dep
+
+__all__ = ["task_free_program", "task_chain_program"]
+
+#: Modelled address pools for the two micro-benchmarks.
+_FREE_BASE = 0x5000_0000
+_CHAIN_BASE = 0x5800_0000
+#: Bytes separating consecutive monitored addresses (one block each).
+_ADDR_STRIDE = 4096
+
+
+def _check_args(num_tasks: int, num_dependences: int,
+                payload_cycles: int) -> None:
+    if num_tasks <= 0:
+        raise WorkloadError("num_tasks must be positive")
+    if not 0 <= num_dependences <= MAX_DEPENDENCES:
+        raise WorkloadError(
+            f"num_dependences must be between 0 and {MAX_DEPENDENCES}"
+        )
+    if payload_cycles < 0:
+        raise WorkloadError("payload_cycles must be non-negative")
+
+
+def task_free_program(num_tasks: int = 200, num_dependences: int = 1,
+                      payload_cycles: int = 0,
+                      name: Optional[str] = None) -> TaskProgram:
+    """Independent tasks, each with ``num_dependences`` fresh parameters.
+
+    With ``payload_cycles == 0`` the program measures pure scheduling
+    overhead (Figure 7); with a non-zero payload it becomes the uniform
+    workload used for the granularity studies.
+    """
+    _check_args(num_tasks, num_dependences, payload_cycles)
+    tasks: List[Task] = []
+    for index in range(num_tasks):
+        deps = tuple(
+            out_dep(_FREE_BASE + (index * MAX_DEPENDENCES + slot) * _ADDR_STRIDE)
+            for slot in range(num_dependences)
+        )
+        tasks.append(Task(index=index, payload_cycles=payload_cycles,
+                          dependences=deps, name=f"free_{index}"))
+    return TaskProgram(
+        name=name or f"task-free-{num_dependences}dep",
+        tasks=tasks,
+        parameters={
+            "benchmark": "task-free",
+            "num_tasks": num_tasks,
+            "num_dependences": num_dependences,
+            "payload_cycles": payload_cycles,
+        },
+    )
+
+
+def task_chain_program(num_tasks: int = 200, num_dependences: int = 1,
+                       payload_cycles: int = 0,
+                       name: Optional[str] = None) -> TaskProgram:
+    """A single dependence chain: every task inout-touches the same addresses.
+
+    Task *i+1* therefore always depends on task *i* (RAW + WAW), which makes
+    the chain the worst case for scheduling latency: no two tasks can ever
+    overlap, so the whole per-task lifetime overhead lands on the critical
+    path.  This is the workload the paper uses to derive the MTT bounds.
+    """
+    _check_args(num_tasks, num_dependences, payload_cycles)
+    shared_addresses = [
+        _CHAIN_BASE + slot * _ADDR_STRIDE for slot in range(num_dependences)
+    ]
+    tasks: List[Task] = []
+    for index in range(num_tasks):
+        deps = tuple(inout_dep(address) for address in shared_addresses)
+        tasks.append(Task(index=index, payload_cycles=payload_cycles,
+                          dependences=deps, name=f"chain_{index}"))
+    return TaskProgram(
+        name=name or f"task-chain-{num_dependences}dep",
+        tasks=tasks,
+        parameters={
+            "benchmark": "task-chain",
+            "num_tasks": num_tasks,
+            "num_dependences": num_dependences,
+            "payload_cycles": payload_cycles,
+        },
+    )

@@ -1,0 +1,140 @@
+"""Jacobi: iterative 1-D Poisson solver (Fundamental Linear Algebra domain).
+
+The KaStORS-derived benchmark solves the Poisson equation with the Jacobi
+iterative method.  The task decomposition follows the OmpSs version: the
+grid is split into row blocks; in every sweep each block is updated from the
+previous iterate of itself and of its two neighbouring blocks.  Expressed as
+dependences, the task updating block *i* of iteration *t*:
+
+* reads ``old[i-1]``, ``old[i]``, ``old[i+1]`` (the previous iterate),
+* writes ``new[i]``,
+
+and the roles of the ``old``/``new`` arrays swap every iteration, which
+yields the classic wavefront-free, neighbour-synchronised DAG (at most four
+monitored parameters per task, well within Picos' 15).
+
+The paper's Figure 9 inputs are grids of 128, 256 and 512 points per block
+row with block factor 1 ("N128 B1", "N256 B1", "N512 B1").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
+
+__all__ = ["jacobi_program", "jacobi_reference", "PAPER_INPUTS"]
+
+#: The (grid size, block factor) pairs evaluated in Figure 9.
+PAPER_INPUTS = [(128, 1), (256, 1), (512, 1)]
+
+#: Default number of Jacobi sweeps per program.
+DEFAULT_ITERATIONS = 4
+#: Grid points per block row (each task updates one block row of this many
+#: points times the block factor).
+POINTS_PER_BLOCK_ROW = 128
+
+
+def jacobi_reference(grid: np.ndarray, source: np.ndarray,
+                     iterations: int) -> np.ndarray:
+    """Reference Jacobi sweeps over a 1-D grid (returns the final iterate)."""
+    current = grid.astype(float).copy()
+    for _ in range(iterations):
+        nxt = current.copy()
+        nxt[1:-1] = 0.5 * (current[:-2] + current[2:] - source[1:-1])
+        current = nxt
+    return current
+
+
+def jacobi_program(
+    grid_blocks: int = 128,
+    block_factor: int = 1,
+    iterations: int = DEFAULT_ITERATIONS,
+    costs: KernelCosts = DEFAULT_KERNEL_COSTS,
+    with_kernels: bool = False,
+    name: Optional[str] = None,
+) -> TaskProgram:
+    """Build the Jacobi task program.
+
+    ``grid_blocks`` is the number of block rows (the paper's ``N``) and
+    ``block_factor`` (the paper's ``B``) scales how many rows one task
+    updates; the total grid therefore has
+    ``grid_blocks * block_factor * POINTS_PER_BLOCK_ROW`` points.
+    """
+    if grid_blocks <= 0 or block_factor <= 0 or iterations <= 0:
+        raise WorkloadError("grid_blocks, block_factor and iterations must be "
+                            "positive")
+    num_tasks_per_iter = grid_blocks // block_factor
+    if num_tasks_per_iter == 0:
+        raise WorkloadError("block_factor larger than the grid")
+    points_per_task = block_factor * POINTS_PER_BLOCK_ROW
+
+    state = None
+    if with_kernels:
+        total_points = grid_blocks * POINTS_PER_BLOCK_ROW + 2
+        rng = np.random.default_rng(11)
+        initial = rng.uniform(-1.0, 1.0, total_points)
+        state = {
+            # Double buffering: even iterations read buffer 0 and write
+            # buffer 1, odd iterations the other way around — the same
+            # parity scheme the dependences below encode.
+            "buffers": [initial, initial.copy()],
+            "source": rng.uniform(-0.1, 0.1, total_points),
+        }
+
+    blocks = BlockSpace(base_address=0x6800_0000)
+    tasks: List[Task] = []
+    index = 0
+    for iteration in range(iterations):
+        read_buffer = iteration % 2
+        write_buffer = 1 - read_buffer
+        for block in range(num_tasks_per_iter):
+            deps = [in_dep(blocks.address(read_buffer, block))]
+            if block > 0:
+                deps.append(in_dep(blocks.address(read_buffer, block - 1)))
+            if block < num_tasks_per_iter - 1:
+                deps.append(in_dep(blocks.address(read_buffer, block + 1)))
+            deps.append(out_dep(blocks.address(write_buffer, block)))
+            kernel = None
+            if with_kernels and state is not None:
+                def kernel(s=state, b=block, points=points_per_task,
+                           read=read_buffer, write=write_buffer) -> None:
+                    lo = 1 + b * points
+                    hi = lo + points
+                    src = s["buffers"][read]
+                    s["buffers"][write][lo:hi] = 0.5 * (
+                        src[lo - 1:hi - 1] + src[lo + 1:hi + 1]
+                        - s["source"][lo:hi]
+                    )
+            tasks.append(
+                Task(
+                    index=index,
+                    payload_cycles=points_per_task * costs.jacobi_per_point,
+                    dependences=tuple(deps),
+                    name=f"jacobi_it{iteration}_b{block}",
+                    kernel=kernel,
+                )
+            )
+            index += 1
+
+    parameters: Dict[str, object] = {
+        "benchmark": "jacobi",
+        "grid_blocks": grid_blocks,
+        "block_factor": block_factor,
+        "iterations": iterations,
+        "points_per_task": points_per_task,
+    }
+    if with_kernels and state is not None:
+        # Expose the kernel state so correctness tests can compare the final
+        # iterate (buffer ``iterations % 2``) against jacobi_reference().
+        parameters["state"] = state
+        parameters["result_buffer"] = iterations % 2
+    return TaskProgram(
+        name=name or f"jacobi-N{grid_blocks}-B{block_factor}",
+        tasks=tasks,
+        parameters=parameters,
+    )

@@ -1,0 +1,82 @@
+"""Shared helpers for the benchmark workload generators.
+
+Every application in :mod:`repro.apps` produces a
+:class:`~repro.runtime.task.TaskProgram`: a DAG of tasks with
+
+* a payload duration in core cycles, derived from the amount of work the
+  task body performs (elements processed × cycles per element on the
+  paper's 80 MHz in-order Rocket core),
+* dependence annotations over the *modelled* addresses of the data blocks
+  the task reads and writes (these drive RAW/WAW/WAR inference exactly like
+  the pragma annotations drive OmpSs),
+* optionally a real numpy kernel, so small instances can be checked for
+  numerical correctness independently of the performance model.
+
+This module holds the pieces those generators share: per-kernel cycle-cost
+constants and the :class:`BlockSpace` helper that assigns a stable modelled
+address to every logical data block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.common.config import CACHE_LINE_BYTES
+from repro.common.errors import WorkloadError
+
+__all__ = ["KernelCosts", "BlockSpace", "DEFAULT_KERNEL_COSTS"]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Cycles per element of the benchmark kernels on the Rocket core.
+
+    The constants approximate ``-O3`` RV64GC code on the in-order pipeline:
+    memory-bound stream operations cost a handful of cycles per element,
+    the Black-Scholes closed-form evaluation (exp/log/sqrt/division) costs a
+    few hundred cycles per option, dense linear-algebra blocks cost a couple
+    of cycles per floating-point operation.
+    """
+
+    blackscholes_per_option: int = 260
+    jacobi_per_point: int = 14
+    lu_per_flop: int = 2
+    stream_per_element: int = 6
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise WorkloadError(f"KernelCosts.{name} must be positive")
+
+
+#: Cost table shared by every workload generator.
+DEFAULT_KERNEL_COSTS = KernelCosts()
+
+
+@dataclass
+class BlockSpace:
+    """Assigns modelled addresses to the logical blocks of an application.
+
+    Dependences in OmpSs are expressed on the *base address* of each block a
+    task touches; the runtime never needs the block contents.  ``BlockSpace``
+    hands out one address per distinct block key (e.g. ``("A", i, j)``),
+    spaced by the block footprint so different blocks never alias.
+    """
+
+    base_address: int = 0x4000_0000
+    block_bytes: int = 4 * 1024
+    _addresses: Dict[Tuple, int] = field(default_factory=dict)
+
+    def address(self, *key) -> int:
+        """Stable modelled address of the block identified by ``key``."""
+        if key not in self._addresses:
+            slot = len(self._addresses)
+            stride = max(self.block_bytes, CACHE_LINE_BYTES)
+            self._addresses[key] = self.base_address + slot * stride
+        return self._addresses[key]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of distinct blocks allocated so far."""
+        return len(self._addresses)

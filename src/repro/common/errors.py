@@ -1,0 +1,73 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The simulator distinguishes between *user errors* (bad configuration, bad
+workload description) and *model errors* (an internal invariant of the
+simulated hardware or runtime was violated).  Keeping the hierarchy in one
+module lets callers catch :class:`ReproError` to handle anything raised by
+the library while still being able to discriminate finer categories.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "ProtocolError",
+    "QueueError",
+    "MemoryModelError",
+    "RuntimeModelError",
+    "WorkloadError",
+    "PicosError",
+    "EvaluationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of the supported range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an internal inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation cannot make progress although processes are blocked.
+
+    Raised when the event queue drains while processes are still waiting on
+    queues or events, or when a watchdog horizon is exceeded.  This mirrors
+    the deadlock scenarios discussed in Section IV-C of the paper.
+    """
+
+
+class ProtocolError(ReproError):
+    """A hardware module was driven in a way its interface does not allow."""
+
+
+class QueueError(ProtocolError):
+    """Illegal operation on a decoupled queue (e.g. pop from empty)."""
+
+
+class MemoryModelError(ReproError):
+    """The coherence/cache model was asked to do something unsupported."""
+
+
+class RuntimeModelError(ReproError):
+    """A task-scheduling runtime model violated one of its invariants."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark/application produced an invalid task program."""
+
+
+class PicosError(ProtocolError):
+    """The Picos device was driven outside its packet protocol."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was asked for an unknown or failed experiment."""

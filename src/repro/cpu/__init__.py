@@ -1,0 +1,29 @@
+"""CPU model: RoCC instruction format, in-order cores, and the SoC."""
+
+from repro.cpu.core import Core
+from repro.cpu.rocc import (
+    CUSTOM0,
+    CUSTOM1,
+    CUSTOM2,
+    CUSTOM3,
+    FAILURE_FLAG,
+    RoccCommand,
+    RoccInstruction,
+    RoccResponse,
+    TaskSchedulingFunct,
+)
+from repro.cpu.soc import SoC
+
+__all__ = [
+    "Core",
+    "CUSTOM0",
+    "CUSTOM1",
+    "CUSTOM2",
+    "CUSTOM3",
+    "FAILURE_FLAG",
+    "RoccCommand",
+    "RoccInstruction",
+    "RoccResponse",
+    "TaskSchedulingFunct",
+    "SoC",
+]

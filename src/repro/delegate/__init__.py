@@ -1,0 +1,5 @@
+"""Picos Delegate: the per-core RoCC accelerator (custom instructions)."""
+
+from repro.delegate.delegate import PicosDelegate
+
+__all__ = ["PicosDelegate"]

@@ -1,0 +1,405 @@
+"""Experiment registry: one runner per figure/table of the evaluation.
+
+The functions here regenerate the paper's evaluation artefacts:
+
+* :func:`figure6_mtt_bounds` — MTT-derived maximum-speedup curves for the
+  four platforms (8 cores) over a sweep of task sizes.
+* :func:`figure7_overhead` — lifetime scheduling overhead per task for
+  Task-Free / Task-Chain × 1 / 15 dependences × 4 platforms.
+* :func:`figure9_benchmarks` — normalised performance of Nanos-SW, Nanos-RV
+  and Phentos on all 37 benchmark inputs (plus the serial baseline).
+* :func:`figure8_granularity` — the same runs re-expressed as speedup versus
+  mean task size (over serial, over Nanos-SW, over Nanos-RV).
+* :func:`figure10_bounds_vs_measured` — measured speedups overlaid on the
+  MTT bounds, per platform.
+* :func:`table2_resources` — the FPGA resource-usage breakdown.
+* :func:`headline_summary` — the geometric-mean and maximum speedups quoted
+  in the abstract/conclusion.
+
+Every runner only needs a :class:`~repro.common.config.SimConfig`; results
+are plain dataclasses/dicts so the benchmark harness and the reporting
+helpers can render them as the rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps.blackscholes import PAPER_INPUTS as BLACKSCHOLES_INPUTS
+from repro.apps.blackscholes import blackscholes_program
+from repro.apps.granularity import task_chain_program
+from repro.apps.jacobi import PAPER_INPUTS as JACOBI_INPUTS
+from repro.apps.jacobi import jacobi_program
+from repro.apps.sparselu import PAPER_INPUTS as SPARSELU_INPUTS
+from repro.apps.sparselu import paper_input_parameters as sparselu_parameters
+from repro.apps.sparselu import sparselu_program
+from repro.apps.stream import PAPER_INPUTS as STREAM_INPUTS
+from repro.apps.stream import paper_input_parameters as stream_parameters
+from repro.apps.stream import stream_program
+from repro.common.config import SimConfig
+from repro.common.errors import EvaluationError
+from repro.common.stats import geometric_mean
+from repro.eval.mtt import MttBound, bound_curve, default_task_sizes
+from repro.eval.overhead import (
+    OVERHEAD_PLATFORMS,
+    OverheadMeasurement,
+    measure_lifetime_overhead,
+    overhead_table,
+)
+from repro.eval.resources import ResourceEntry, resource_table
+from repro.runtime import (
+    NanosRVRuntime,
+    NanosSWRuntime,
+    PhentosRuntime,
+    SerialRuntime,
+)
+from repro.runtime.base import RuntimeResult
+from repro.runtime.task import TaskProgram
+
+__all__ = [
+    "BenchmarkCase",
+    "BenchmarkRun",
+    "benchmark_cases",
+    "figure6_mtt_bounds",
+    "figure7_overhead",
+    "figure8_granularity",
+    "figure9_benchmarks",
+    "figure10_bounds_vs_measured",
+    "table2_resources",
+    "headline_summary",
+    "HeadlineSummary",
+    "EXPERIMENTS",
+]
+
+#: Runtimes compared in Figures 8/9/10, in the paper's plotting order.
+_COMPARED_RUNTIMES = ("nanos-sw", "nanos-rv", "phentos")
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One of the 37 benchmark inputs of Figure 9."""
+
+    benchmark: str
+    label: str
+    build: Callable[[], TaskProgram]
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``blackscholes/4K B8``."""
+        return f"{self.benchmark}/{self.label}"
+
+
+@dataclass
+class BenchmarkRun:
+    """All runtime results for one benchmark input."""
+
+    case: BenchmarkCase
+    mean_task_cycles: float
+    results: Dict[str, RuntimeResult] = field(default_factory=dict)
+
+    def speedup_vs_serial(self, runtime: str) -> float:
+        """Speedup of ``runtime`` over the serial execution."""
+        return self.results[runtime].speedup_vs_serial
+
+    def speedup_over(self, runtime: str, baseline: str) -> float:
+        """Speedup of ``runtime`` with respect to ``baseline``."""
+        return (self.results[baseline].elapsed_cycles
+                / self.results[runtime].elapsed_cycles)
+
+
+def benchmark_cases(quick: bool = False,
+                    scale: float = 1.0) -> List[BenchmarkCase]:
+    """The Figure 9 input list (37 cases; a reduced set when ``quick``).
+
+    ``scale`` < 1 shrinks problem sizes proportionally (used by unit tests);
+    the default reproduces the full evaluation sweep.
+    """
+    if scale <= 0:
+        raise EvaluationError("scale must be positive")
+
+    def scaled(value: int, minimum: int = 1) -> int:
+        return max(int(round(value * scale)), minimum)
+
+    cases: List[BenchmarkCase] = []
+    blackscholes_inputs = BLACKSCHOLES_INPUTS
+    jacobi_inputs = JACOBI_INPUTS
+    sparselu_inputs = SPARSELU_INPUTS
+    stream_inputs = STREAM_INPUTS
+    if quick:
+        blackscholes_inputs = [("4K", 16), ("4K", 256)]
+        jacobi_inputs = [(128, 1)]
+        sparselu_inputs = [("N32", 2), ("N32", 16)]
+        stream_inputs = ["16x16", "128x1024"]
+
+    blackscholes_sizes = {"4K": 4096, "16K": 16384}
+    for portfolio, block in blackscholes_inputs:
+        options = max(scaled(blackscholes_sizes[portfolio]), block)
+        cases.append(BenchmarkCase(
+            "blackscholes", f"{portfolio} B{block}",
+            lambda n=options, b=block, p=portfolio: blackscholes_program(
+                str(n), b, name=f"blackscholes-{p}-B{b}"
+            ),
+        ))
+    for grid, factor in jacobi_inputs:
+        cases.append(BenchmarkCase(
+            "jacobi", f"N{grid} B{factor}",
+            lambda g=grid, f=factor: jacobi_program(
+                scaled(g, f), f, name=f"jacobi-N{g}-B{f}"
+            ),
+        ))
+    for label, multiplier in sparselu_inputs:
+        blocks, dim = sparselu_parameters(label, multiplier)
+        cases.append(BenchmarkCase(
+            "sparselu", f"{label} M{multiplier}",
+            lambda nb=blocks, bd=dim, lbl=label, m=multiplier: sparselu_program(
+                max(scaled(nb), 2), bd, name=f"sparselu-{lbl}-M{m}"
+            ),
+        ))
+    for variant, use_deps in (("stream-barr", False), ("stream-deps", True)):
+        for label in stream_inputs:
+            blocks, elems = stream_parameters(label)
+            cases.append(BenchmarkCase(
+                variant, label,
+                lambda nb=blocks, ne=elems, deps=use_deps, lbl=label,
+                       var=variant: stream_program(
+                    max(scaled(nb), 2), ne, use_dependences=deps,
+                    name=f"{var}-{lbl}",
+                ),
+            ))
+    return cases
+
+
+# --------------------------------------------------------------------- #
+# Figure 6
+# --------------------------------------------------------------------- #
+def figure6_mtt_bounds(
+    config: Optional[SimConfig] = None,
+    task_sizes: Optional[Sequence[float]] = None,
+    num_tasks: int = 120,
+) -> Dict[str, List[MttBound]]:
+    """MTT-derived maximum speedup curves for the four platforms (8 cores).
+
+    Follows the paper: the bound of each platform is computed from its
+    Task-Chain (1 dependence) lifetime overhead via Equation 1, capped at
+    the number of cores.
+    """
+    config = config if config is not None else SimConfig()
+    sizes = list(task_sizes) if task_sizes else default_task_sizes()
+    num_cores = config.machine.num_cores
+    curves: Dict[str, List[MttBound]] = {}
+    for platform in OVERHEAD_PLATFORMS:
+        overhead = measure_lifetime_overhead(
+            platform, "task-chain", 1, num_tasks, config
+        )
+        curves[platform] = bound_curve(overhead, num_cores, sizes)
+    return curves
+
+
+# --------------------------------------------------------------------- #
+# Figure 7
+# --------------------------------------------------------------------- #
+def figure7_overhead(config: Optional[SimConfig] = None,
+                     num_tasks: int = 150) -> List[OverheadMeasurement]:
+    """Lifetime scheduling overhead per task for every platform/workload."""
+    return overhead_table(config, num_tasks)
+
+
+# --------------------------------------------------------------------- #
+# Figure 9 (and the raw data behind Figures 8 and 10)
+# --------------------------------------------------------------------- #
+def figure9_benchmarks(
+    config: Optional[SimConfig] = None,
+    quick: bool = False,
+    scale: float = 1.0,
+    num_workers: Optional[int] = None,
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+) -> List[BenchmarkRun]:
+    """Run every benchmark input on serial, Nanos-SW, Nanos-RV and Phentos."""
+    config = config if config is not None else SimConfig()
+    workers = num_workers if num_workers is not None else \
+        config.machine.num_cores
+    selected = list(cases) if cases is not None else benchmark_cases(quick, scale)
+    runtimes = {
+        "serial": SerialRuntime(config),
+        "nanos-sw": NanosSWRuntime(config),
+        "nanos-rv": NanosRVRuntime(config),
+        "phentos": PhentosRuntime(config),
+    }
+    runs: List[BenchmarkRun] = []
+    for case in selected:
+        program = case.build()
+        run = BenchmarkRun(case=case, mean_task_cycles=program.mean_task_cycles)
+        for name, runtime in runtimes.items():
+            run.results[name] = runtime.run(
+                program, num_workers=1 if name == "serial" else workers
+            )
+        runs.append(run)
+    return runs
+
+
+# --------------------------------------------------------------------- #
+# Figure 8
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GranularityPoint:
+    """One scatter point of Figure 8."""
+
+    runtime: str
+    benchmark: str
+    label: str
+    task_size_cycles: float
+    speedup_vs_serial: float
+    speedup_vs_nanos_sw: float
+    speedup_vs_nanos_rv: float
+
+
+def figure8_granularity(runs: Sequence[BenchmarkRun]) -> List[GranularityPoint]:
+    """Re-express the Figure 9 runs as speedup-versus-task-size points."""
+    points: List[GranularityPoint] = []
+    for run in runs:
+        for runtime in _COMPARED_RUNTIMES:
+            points.append(GranularityPoint(
+                runtime=runtime,
+                benchmark=run.case.benchmark,
+                label=run.case.label,
+                task_size_cycles=run.mean_task_cycles,
+                speedup_vs_serial=run.speedup_vs_serial(runtime),
+                speedup_vs_nanos_sw=run.speedup_over(runtime, "nanos-sw"),
+                speedup_vs_nanos_rv=run.speedup_over(runtime, "nanos-rv"),
+            ))
+    return points
+
+
+# --------------------------------------------------------------------- #
+# Figure 10
+# --------------------------------------------------------------------- #
+@dataclass
+class BoundComparison:
+    """Measured speedups of one platform next to its MTT bound curve."""
+
+    platform: str
+    bound: List[MttBound]
+    measured: List[Tuple[float, float]]  # (task size, speedup vs serial)
+
+    def violations(self, tolerance: float = 1.10,
+                   min_speedup: float = 1.0) -> List[Tuple[float, float]]:
+        """Measured points exceeding the bound by more than ``tolerance``.
+
+        Points below ``min_speedup`` are ignored: in the scheduling-bound
+        regime the Equation-1 bound is derived from the *whole* lifetime
+        overhead of the Task-Chain workload, while a real run pipelines the
+        submission, fetch and retirement stages across cores, so measured
+        throughput can legitimately sit slightly above the analytic curve
+        when both are far below 1x.  The interesting claim — that no run
+        beats the bound where the bound actually constrains performance —
+        is what this method checks.
+        """
+        out: List[Tuple[float, float]] = []
+        for task_size, speedup in self.measured:
+            if speedup < min_speedup:
+                continue
+            limit = _interpolate_bound(self.bound, task_size)
+            if speedup > limit * tolerance:
+                out.append((task_size, speedup))
+        return out
+
+
+def _interpolate_bound(bound: Sequence[MttBound], task_size: float) -> float:
+    if not bound:
+        raise EvaluationError("empty bound curve")
+    previous = bound[0]
+    for point in bound:
+        if point.task_size_cycles >= task_size:
+            return point.max_speedup
+        previous = point
+    return previous.max_speedup
+
+
+def figure10_bounds_vs_measured(
+    runs: Sequence[BenchmarkRun],
+    config: Optional[SimConfig] = None,
+    bounds: Optional[Dict[str, List[MttBound]]] = None,
+) -> Dict[str, BoundComparison]:
+    """Overlay the measured speedups on the MTT bounds, per platform."""
+    config = config if config is not None else SimConfig()
+    if bounds is None:
+        sizes = default_task_sizes(2, 7, 4)
+        bounds = figure6_mtt_bounds(config, task_sizes=sizes)
+    comparisons: Dict[str, BoundComparison] = {}
+    for platform in _COMPARED_RUNTIMES:
+        measured = [
+            (run.mean_task_cycles, run.speedup_vs_serial(platform))
+            for run in runs
+        ]
+        comparisons[platform] = BoundComparison(
+            platform=platform,
+            bound=bounds.get(platform, []),
+            measured=measured,
+        )
+    return comparisons
+
+
+# --------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------- #
+def table2_resources(config: Optional[SimConfig] = None) -> List[ResourceEntry]:
+    """The FPGA resource-usage breakdown of the prototype."""
+    config = config if config is not None else SimConfig()
+    return resource_table(config.machine)
+
+
+# --------------------------------------------------------------------- #
+# Headline numbers
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HeadlineSummary:
+    """The summary statistics quoted in the abstract and conclusion."""
+
+    geomean_nanos_rv_vs_sw: float
+    geomean_phentos_vs_sw: float
+    geomean_phentos_vs_rv: float
+    max_speedup_vs_serial_nanos_rv: float
+    max_speedup_vs_serial_phentos: float
+    max_speedup_phentos_vs_sw: float
+    nanos_rv_wins_vs_sw: int
+    phentos_wins_vs_sw: int
+    phentos_wins_vs_rv: int
+    phentos_regressions_vs_sw: int
+    num_cases: int
+
+
+def headline_summary(runs: Sequence[BenchmarkRun]) -> HeadlineSummary:
+    """Compute the paper's headline statistics from the Figure 9 runs."""
+    if not runs:
+        raise EvaluationError("headline_summary needs at least one run")
+    rv_vs_sw = [run.speedup_over("nanos-rv", "nanos-sw") for run in runs]
+    ph_vs_sw = [run.speedup_over("phentos", "nanos-sw") for run in runs]
+    ph_vs_rv = [run.speedup_over("phentos", "nanos-rv") for run in runs]
+    return HeadlineSummary(
+        geomean_nanos_rv_vs_sw=geometric_mean(rv_vs_sw),
+        geomean_phentos_vs_sw=geometric_mean(ph_vs_sw),
+        geomean_phentos_vs_rv=geometric_mean(ph_vs_rv),
+        max_speedup_vs_serial_nanos_rv=max(
+            run.speedup_vs_serial("nanos-rv") for run in runs
+        ),
+        max_speedup_vs_serial_phentos=max(
+            run.speedup_vs_serial("phentos") for run in runs
+        ),
+        max_speedup_phentos_vs_sw=max(ph_vs_sw),
+        nanos_rv_wins_vs_sw=sum(1 for value in rv_vs_sw if value > 1.0),
+        phentos_wins_vs_sw=sum(1 for value in ph_vs_sw if value > 1.0),
+        phentos_wins_vs_rv=sum(1 for value in ph_vs_rv if value > 1.0),
+        phentos_regressions_vs_sw=sum(1 for value in ph_vs_sw if value < 0.97),
+        num_cases=len(runs),
+    )
+
+
+#: Registry mapping experiment identifiers to their runner functions, used
+#: by the benchmark harness and the ``examples/reproduce_paper.py`` script.
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure6": figure6_mtt_bounds,
+    "figure7": figure7_overhead,
+    "figure9": figure9_benchmarks,
+    "table2": table2_resources,
+}

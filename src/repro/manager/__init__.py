@@ -1,0 +1,14 @@
+"""Picos Manager: submission handling, work-fetch arbitration, retirement."""
+
+from repro.manager.manager import ManagerError, PicosManager
+from repro.manager.submission import PendingSubmission, SubmissionHandler
+from repro.manager.workfetch import PacketEncoder, WorkFetchUnit
+
+__all__ = [
+    "ManagerError",
+    "PicosManager",
+    "PendingSubmission",
+    "SubmissionHandler",
+    "PacketEncoder",
+    "WorkFetchUnit",
+]

@@ -1,0 +1,160 @@
+"""Submission Handler of Picos Manager (Figure 4 of the paper).
+
+The Submission Handler carries task descriptors from the per-core Picos
+Delegates to the single Picos submission interface.  It guarantees:
+
+1. **Atomicity** — packet sequences from different cores never interleave.
+   A Guided Arbiter hands the Picos-facing interface to one core for a whole
+   48-beat sequence.
+2. **Compression** — cores transmit only the non-zero prefix of a descriptor
+   (3 + 3·D packets); the Zero Padder appends the remaining zero packets so
+   Picos always sees 48.
+3. **Protocol crossing** — per-core Chisel-style buffers feed the Picos
+   submission queue through a final buffer.
+
+Software interacts with the handler only through the two non-blocking hooks
+used by the delegate instructions: :meth:`announce` (Submission Request) and
+:meth:`push_packet` / :meth:`push_packets` (Submit Packet / Submit Three
+Packets).  Both return ``False`` instead of blocking when internal buffers
+are full, which is what lets the ISA stay deadlock-free (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.config import PicosCosts
+from repro.common.errors import ProtocolError
+from repro.common.stats import Stats
+from repro.picos.device import PicosDevice
+from repro.picos.packets import PACKETS_PER_DESCRIPTOR
+from repro.sim.arbiters import GuidedArbiter
+from repro.sim.engine import Delay, Engine, Get, ProcessGen, Put, Wait
+from repro.sim.queues import DecoupledQueue
+
+__all__ = ["SubmissionHandler", "PendingSubmission"]
+
+#: Depth of each core-specific submission packet buffer.
+_CORE_BUFFER_DEPTH = 16
+#: Depth of the announcement queue per core (outstanding Submission Requests).
+_ANNOUNCE_DEPTH = 2
+
+
+@dataclass
+class PendingSubmission:
+    """One announced-but-not-yet-forwarded task submission from a core."""
+
+    core_id: int
+    nonzero_packets: int
+
+    def __post_init__(self) -> None:
+        if not 3 <= self.nonzero_packets <= PACKETS_PER_DESCRIPTOR:
+            raise ProtocolError(
+                "a submission must announce between 3 and 48 packets, "
+                f"got {self.nonzero_packets}"
+            )
+        if self.nonzero_packets % 3 != 0:
+            raise ProtocolError(
+                "the non-zero packet count of a descriptor is always a "
+                f"multiple of three, got {self.nonzero_packets}"
+            )
+
+
+class SubmissionHandler:
+    """Moves per-core packet streams onto the Picos submission interface."""
+
+    def __init__(self, engine: Engine, device: PicosDevice, num_cores: int,
+                 costs: PicosCosts, name: str = "submission_handler") -> None:
+        self.engine = engine
+        self.device = device
+        self.num_cores = num_cores
+        self.costs = costs
+        self.name = name
+        self.stats = Stats(name)
+        self.arbiter = GuidedArbiter(engine, num_cores, name=f"{name}.guided")
+        self._buffers: List[DecoupledQueue[int]] = [
+            DecoupledQueue(engine, _CORE_BUFFER_DEPTH, name=f"{name}.buf{core}")
+            for core in range(num_cores)
+        ]
+        self._announcements: List[DecoupledQueue[PendingSubmission]] = [
+            DecoupledQueue(engine, _ANNOUNCE_DEPTH, name=f"{name}.ann{core}")
+            for core in range(num_cores)
+        ]
+        self._pumps = [
+            engine.spawn(self._pump(core), name=f"{name}.pump{core}", daemon=True)
+            for core in range(num_cores)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Delegate-facing non-blocking hooks
+    # ------------------------------------------------------------------ #
+    def announce(self, core_id: int, nonzero_packets: int) -> bool:
+        """Register a Submission Request; returns False when it must retry."""
+        self._check_core(core_id)
+        pending = PendingSubmission(core_id, nonzero_packets)
+        accepted = self._announcements[core_id].try_put(pending)
+        if accepted:
+            self.stats.incr("submission_requests")
+        else:
+            self.stats.incr("submission_request_failures")
+        return accepted
+
+    def push_packet(self, core_id: int, word: int) -> bool:
+        """Buffer one 32-bit submission packet; False when the buffer is full."""
+        self._check_core(core_id)
+        accepted = self._buffers[core_id].try_put(word & 0xFFFFFFFF)
+        if accepted:
+            self.stats.incr("packets_buffered")
+        else:
+            self.stats.incr("packet_buffer_failures")
+        return accepted
+
+    def push_packets(self, core_id: int, words: Sequence[int]) -> bool:
+        """Buffer several packets atomically (all or nothing)."""
+        self._check_core(core_id)
+        buffer = self._buffers[core_id]
+        if buffer.capacity - len(buffer) < len(words):
+            self.stats.incr("packet_buffer_failures")
+            return False
+        for word in words:
+            buffer.try_put(word & 0xFFFFFFFF)
+        self.stats.add("packets_buffered", len(words))
+        return True
+
+    def can_announce(self, core_id: int) -> bool:
+        """True when a new Submission Request from ``core_id`` would succeed."""
+        self._check_core(core_id)
+        return self._announcements[core_id].ready
+
+    # ------------------------------------------------------------------ #
+    # The per-core pump processes
+    # ------------------------------------------------------------------ #
+    def _pump(self, core_id: int) -> ProcessGen:
+        """Stream announced submissions from ``core_id`` into Picos."""
+        while True:
+            pending: PendingSubmission = yield Get(self._announcements[core_id])
+            grant = self.arbiter.request(core_id, PACKETS_PER_DESCRIPTOR)
+            yield Wait(grant)
+            # Forward the announced non-zero prefix at one packet per cycle.
+            for _ in range(pending.nonzero_packets):
+                word = yield Get(self._buffers[core_id])
+                yield Delay(self.costs.submission_packet_cycles)
+                yield Put(self.device.submission_queue, word)
+                self.arbiter.transfer_beat(core_id)
+            # Zero Padder: complete the 48-packet sequence.
+            for _ in range(PACKETS_PER_DESCRIPTOR - pending.nonzero_packets):
+                yield Delay(self.costs.submission_packet_cycles)
+                yield Put(self.device.submission_queue, 0)
+                self.arbiter.transfer_beat(core_id)
+            self.stats.incr("descriptors_forwarded")
+            self.stats.add(
+                "zero_packets_padded",
+                PACKETS_PER_DESCRIPTOR - pending.nonzero_packets,
+            )
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ProtocolError(
+                f"core {core_id} out of range 0..{self.num_cores - 1}"
+            )

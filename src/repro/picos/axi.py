@@ -1,0 +1,118 @@
+"""MMIO/AXI access path to Picos, modelling the Picos++ baseline system.
+
+The previous state of the art (Tan et al. 2017, "Nanos-AXI" in the paper's
+figures) attaches Picos++ to a quad-core ARM SoC behind an AXI interconnect:
+the runtime reaches the scheduler through memory-mapped transactions handled
+by a DMA-like communication module, which costs hundreds of core cycles per
+interaction instead of the handful of cycles a RoCC instruction costs.
+
+:class:`AxiPicosInterface` wraps the very same :class:`PicosDevice` model but
+charges AXI transaction latencies for every submission, work-fetch and
+retirement, so the only difference between the Nanos-AXI and Nanos-RV
+runtime models is the communication path — which is precisely the variable
+the paper isolates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.common.config import AxiCosts
+from repro.common.errors import PicosError
+from repro.common.stats import Stats
+from repro.picos.device import PicosDevice, ReadyTask
+from repro.picos.packets import TaskDescriptor, encode_descriptor
+from repro.sim.engine import Delay, Engine, ProcessGen
+
+__all__ = ["AxiPicosInterface"]
+
+
+class AxiPicosInterface:
+    """Software-visible Picos access through modelled AXI transactions."""
+
+    def __init__(self, engine: Engine, device: PicosDevice, costs: AxiCosts,
+                 name: str = "axi_picos") -> None:
+        self.engine = engine
+        self.device = device
+        self.costs = costs
+        self.name = name
+        self.stats = Stats(name)
+        self._partial_ready: list = []
+        #: CPU-visible staging buffer filled by DMA refills.  Chained
+        #: workloads pay one refill per task; parallel ones amortise it.
+        self._staging: list = []
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit_task(self, descriptor: TaskDescriptor) -> ProcessGen:
+        """Submit a full task descriptor over AXI (blocking, DMA-mediated)."""
+        latency = (
+            self.costs.submit_transaction
+            + self.costs.per_dependence * descriptor.num_dependences
+        )
+        self.stats.incr("axi_submissions")
+        self.stats.add("axi_submit_cycles", latency)
+        yield Delay(latency)
+        # The DMA engine streams all 48 packets into the Picos submission
+        # queue; the stream itself proceeds at queue speed.
+        for packet in encode_descriptor(descriptor):
+            from repro.sim.engine import Put
+
+            yield Put(self.device.submission_queue, packet)
+
+    # ------------------------------------------------------------------ #
+    # Work fetch
+    # ------------------------------------------------------------------ #
+    def fetch_ready_task(self) -> Generator:
+        """Poll the scheduler for a ready task; returns it or ``None``.
+
+        A poll costs a full AXI read transaction whether or not a task is
+        available, and an empty CPU-visible staging buffer additionally
+        costs a DMA refill that drains whatever Picos has emitted so far —
+        this is the cost asymmetry that makes the baseline slow for
+        fine-grained and chained workloads.
+        """
+        self.stats.incr("axi_ready_polls")
+        yield Delay(self.costs.ready_transaction)
+        if not self._staging:
+            if not self.device.ready_queue.valid:
+                self.stats.incr("axi_ready_misses")
+                return None
+            # DMA transfer of every complete descriptor currently available.
+            yield Delay(self.costs.dma_refill_cycles)
+            self.stats.incr("axi_dma_refills")
+            while True:
+                ready = self._assemble_ready()
+                if ready is None:
+                    break
+                self._staging.append(ready)
+            if not self._staging:
+                self.stats.incr("axi_ready_misses")
+                return None
+        ready = self._staging.pop(0)
+        self.device.graph.mark_running(ready.picos_id)
+        self.stats.incr("axi_ready_hits")
+        return ready
+
+    def _assemble_ready(self) -> Optional[ReadyTask]:
+        # Drain whole 3-packet triples from the device ready queue.
+        while len(self._partial_ready) < 3:
+            packet = self.device.ready_queue.try_get()
+            if packet is None:
+                return None
+            self._partial_ready.append(packet)
+        first, _second, _third = self._partial_ready[:3]
+        del self._partial_ready[:3]
+        return ReadyTask(picos_id=first.picos_id, sw_id=first.sw_id)
+
+    # ------------------------------------------------------------------ #
+    # Retirement
+    # ------------------------------------------------------------------ #
+    def retire_task(self, picos_id: int) -> ProcessGen:
+        """Notify the scheduler that ``picos_id`` finished (AXI write)."""
+        self.stats.incr("axi_retirements")
+        yield Delay(self.costs.retire_transaction)
+        from repro.sim.engine import Put
+
+        yield Put(self.device.retirement_queue, picos_id)

@@ -1,0 +1,210 @@
+"""Behavioural model of the Picos hardware task scheduler.
+
+Picos exposes three queues to the outside world (Section IV-D):
+
+* a **submission queue** receiving 32-bit task-descriptor packets,
+* a **ready queue** through which it announces ready-to-run tasks as three
+  32-bit packets each,
+* a **retirement queue** receiving the Picos ID of tasks that finished.
+
+Internally the device reassembles 48-packet descriptors, performs hardware
+dependence inference (one pipeline pass per dependence), stores the task in
+its reservation station, and emits tasks whose predecessor count drops to
+zero.  The model charges the per-stage latencies from
+:class:`~repro.common.config.PicosCosts` and applies the reservation-station
+capacity as back-pressure on the submission queue, which is what eventually
+makes the non-blocking submission instructions return their failure flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.common.config import PicosCosts
+from repro.common.errors import PicosError
+from repro.common.stats import Stats
+from repro.picos.dependence import TaskGraph
+from repro.picos.packets import (
+    PACKETS_PER_DESCRIPTOR,
+    TaskDescriptor,
+    decode_descriptor,
+)
+from repro.sim.engine import Delay, Engine, Get, ProcessGen
+from repro.sim.queues import DecoupledQueue
+
+__all__ = ["ReadyPacket", "ReadyTask", "PicosDevice"]
+
+
+@dataclass(frozen=True)
+class ReadyPacket:
+    """One of the three 32-bit packets Picos emits per ready task."""
+
+    word: int
+    index: int          # 0, 1 or 2 within the ready-task triple
+    picos_id: int
+    sw_id: int
+
+
+@dataclass(frozen=True)
+class ReadyTask:
+    """A fully assembled ready-task announcement (Picos ID, SW ID)."""
+
+    picos_id: int
+    sw_id: int
+
+
+class PicosDevice:
+    """The Picos accelerator, driven through its three hardware queues."""
+
+    def __init__(self, engine: Engine, costs: PicosCosts,
+                 name: str = "picos") -> None:
+        self.engine = engine
+        self.costs = costs
+        self.name = name
+        self.stats = Stats(name)
+        self.graph = TaskGraph(capacity=costs.max_in_flight_tasks)
+        #: sw_id keyed by the Picos-assigned task id, for ready announcements.
+        self._sw_ids: Dict[int, int] = {}
+        self.submission_queue: DecoupledQueue[int] = DecoupledQueue(
+            engine, costs.submission_queue_depth, name=f"{name}.submission"
+        )
+        self.ready_queue: DecoupledQueue[ReadyPacket] = DecoupledQueue(
+            engine, costs.ready_queue_depth * 3, name=f"{name}.ready"
+        )
+        self.retirement_queue: DecoupledQueue[int] = DecoupledQueue(
+            engine, costs.retirement_queue_depth, name=f"{name}.retirement"
+        )
+        #: Tasks whose predecessors are satisfied but whose three ready
+        #: packets have not yet been pushed into the ready queue.
+        self._ready_backlog: Deque[ReadyTask] = deque()
+        self._emitter_busy = False
+        # Whenever the consumer drains ready packets, try to emit more.
+        self.ready_queue.subscribe_dequeue(self._kick_emitter)
+        self._submission_process = engine.spawn(
+            self._submission_pipeline(), name=f"{name}.submit", daemon=True
+        )
+        self._retirement_process = engine.spawn(
+            self._retirement_pipeline(), name=f"{name}.retire", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public queries (used by the Manager and by tests)
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight_tasks(self) -> int:
+        """Number of tasks currently tracked by the reservation station."""
+        return self.graph.in_flight
+
+    def can_accept_submission(self) -> bool:
+        """True when the submission queue can take one more packet."""
+        return self.submission_queue.ready
+
+    def sw_id_of(self, picos_id: int) -> int:
+        """The software id the runtime attached to ``picos_id``."""
+        try:
+            return self._sw_ids[picos_id]
+        except KeyError as exc:
+            raise PicosError(f"unknown picos id {picos_id}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Pipelines
+    # ------------------------------------------------------------------ #
+    def _submission_pipeline(self) -> ProcessGen:
+        """Reassemble 48-packet descriptors and insert them in the graph."""
+        buffer: List[int] = []
+        while True:
+            packet = yield Get(self.submission_queue)
+            yield Delay(self.costs.submission_packet_cycles)
+            buffer.append(packet)
+            self.stats.incr("submission_packets")
+            if len(buffer) < PACKETS_PER_DESCRIPTOR:
+                continue
+            descriptor = decode_descriptor(buffer)
+            buffer = []
+            yield from self._insert_task(descriptor)
+
+    def _insert_task(self, descriptor: TaskDescriptor) -> ProcessGen:
+        analysis = (
+            self.costs.task_insert_cycles
+            + self.costs.dependence_analysis_cycles * descriptor.num_dependences
+        )
+        if analysis:
+            yield Delay(analysis)
+        # Capacity back-pressure: wait until the reservation station frees a
+        # slot.  While waiting, the submission queue fills up and the
+        # Submission Handler (and ultimately the non-blocking instructions)
+        # observe the back-pressure.
+        while not self.graph.has_capacity():
+            yield Delay(self.costs.retire_cycles)
+        task_id, ready = self.graph.submit(descriptor.sw_id,
+                                           descriptor.dependences)
+        self._sw_ids[task_id] = descriptor.sw_id
+        self.stats.incr("tasks_accepted")
+        self.stats.observe("dependences_per_task", descriptor.num_dependences)
+        if ready:
+            self._schedule_ready(ReadyTask(task_id, descriptor.sw_id))
+
+    def _retirement_pipeline(self) -> ProcessGen:
+        """Consume retirement packets and wake dependent tasks."""
+        while True:
+            picos_id = yield Get(self.retirement_queue)
+            yield Delay(self.costs.retire_cycles)
+            newly_ready = self.graph.retire(picos_id)
+            self._sw_ids.pop(picos_id, None)
+            self.stats.incr("tasks_retired")
+            if newly_ready:
+                yield Delay(
+                    self.costs.wakeup_per_dependant_cycles * len(newly_ready)
+                )
+            for ready_id in newly_ready:
+                self._schedule_ready(
+                    ReadyTask(ready_id, self.graph.task(ready_id).sw_id)
+                )
+
+    # ------------------------------------------------------------------ #
+    # Ready-task emission
+    # ------------------------------------------------------------------ #
+    def _schedule_ready(self, ready: ReadyTask) -> None:
+        self._ready_backlog.append(ready)
+        self.stats.incr("tasks_made_ready")
+        self._kick_emitter()
+
+    def _kick_emitter(self) -> None:
+        if self._emitter_busy or not self._ready_backlog:
+            return
+        # Each ready task needs room for its three packets.
+        if self.ready_queue.capacity - len(self.ready_queue) < 3:
+            return
+        self._emitter_busy = True
+        self.engine.schedule_callback(self.costs.ready_emit_cycles,
+                                      self._emit_ready)
+
+    def _emit_ready(self) -> None:
+        self._emitter_busy = False
+        if not self._ready_backlog:
+            return
+        if self.ready_queue.capacity - len(self.ready_queue) < 3:
+            # No room: the permanent dequeue observer re-kicks the emitter
+            # once the consumer drains packets.
+            return
+        ready = self._ready_backlog.popleft()
+        words = self._ready_words(ready)
+        for index, word in enumerate(words):
+            self.ready_queue.try_put(
+                ReadyPacket(word=word, index=index,
+                            picos_id=ready.picos_id, sw_id=ready.sw_id)
+            )
+        self.stats.incr("ready_tasks_emitted")
+        self._kick_emitter()
+
+    @staticmethod
+    def _ready_words(ready: ReadyTask) -> List[int]:
+        mask = (1 << 32) - 1
+        return [
+            ready.picos_id & mask,
+            (ready.sw_id >> 32) & mask,
+            ready.sw_id & mask,
+        ]

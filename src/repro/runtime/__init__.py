@@ -1,0 +1,58 @@
+"""Task-scheduling runtime models: serial, Nanos-SW/RV/AXI and Phentos."""
+
+from repro.runtime.base import Runtime, RuntimeResult
+from repro.runtime.hw_interface import (
+    FetchedTask,
+    fetch_ready_task,
+    request_ready_task,
+    retire_task_hw,
+    submit_task_hw,
+)
+from repro.runtime.nanos_axi import NanosAXIRuntime
+from repro.runtime.nanos_machinery import NanosMachinery
+from repro.runtime.nanos_rv import NanosRVRuntime
+from repro.runtime.nanos_sw import NanosSWRuntime
+from repro.runtime.phentos import PhentosRuntime
+from repro.runtime.serial import SerialRuntime
+from repro.runtime.task import (
+    Task,
+    TaskProgram,
+    dependence,
+    in_dep,
+    inout_dep,
+    out_dep,
+)
+from repro.runtime.worker import HwWorkerContext
+
+__all__ = [
+    "Runtime",
+    "RuntimeResult",
+    "FetchedTask",
+    "fetch_ready_task",
+    "request_ready_task",
+    "retire_task_hw",
+    "submit_task_hw",
+    "NanosAXIRuntime",
+    "NanosMachinery",
+    "NanosRVRuntime",
+    "NanosSWRuntime",
+    "PhentosRuntime",
+    "SerialRuntime",
+    "Task",
+    "TaskProgram",
+    "dependence",
+    "in_dep",
+    "inout_dep",
+    "out_dep",
+    "HwWorkerContext",
+]
+
+#: Registry of every runtime model keyed by its short name, used by the
+#: evaluation harness and the examples.
+RUNTIMES = {
+    "serial": SerialRuntime,
+    "nanos-sw": NanosSWRuntime,
+    "nanos-rv": NanosRVRuntime,
+    "nanos-axi": NanosAXIRuntime,
+    "phentos": PhentosRuntime,
+}

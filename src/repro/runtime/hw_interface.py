@@ -1,0 +1,160 @@
+"""Instruction-level access to Picos shared by Nanos-RV and Phentos.
+
+Both hardware-accelerated runtimes drive the same seven custom instructions;
+what differs is the software bookkeeping around them.  This module contains
+the common instruction sequences:
+
+* :func:`submit_task_hw` — Submission Request followed by the Submit Three
+  Packets stream of the non-zero descriptor prefix (Section IV-E.1..3),
+* :func:`request_ready_task` — a single non-blocking Ready Task Request,
+* :func:`fetch_ready_task` — the Fetch SW ID / Fetch Picos ID pair,
+* :func:`retire_task_hw` — the blocking Retire Task instruction.
+
+All of them retry on failure flags the way the paper describes software
+should (retry, optionally doing alternative work between attempts), charging
+the retry instructions to the issuing core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from repro.common.errors import RuntimeModelError
+from repro.cpu.core import Core
+from repro.cpu.rocc import RoccCommand, TaskSchedulingFunct
+from repro.picos.packets import TaskDescriptor, encode_nonzero_packets
+from repro.runtime.task import Task
+from repro.sim.engine import Delay
+
+__all__ = [
+    "FetchedTask",
+    "submit_task_hw",
+    "request_ready_task",
+    "fetch_ready_task",
+    "retire_task_hw",
+]
+
+#: Instructions of the software retry loop around a failed non-blocking
+#: instruction (branch on the failure flag, reload operands, loop).
+_RETRY_LOOP_INSTRUCTIONS = 4
+#: Cycles to back off between repeated failures, so a stalled scheduler is
+#: not hammered every cycle (software is free to choose; Phentos uses a
+#: short pause).
+_RETRY_BACKOFF_CYCLES = 12
+#: Give up threshold: if the hardware never accepts after this many retries
+#: something is structurally wrong with the model and we fail loudly rather
+#: than spin forever.
+_MAX_RETRIES = 1_000_000
+
+
+@dataclass(frozen=True)
+class FetchedTask:
+    """A ready task as seen by a worker after the two fetch instructions."""
+
+    sw_id: int
+    picos_id: int
+
+
+def _pack_words(high_word: int, low_word: int) -> int:
+    """Pack two 32-bit packets into one 64-bit register operand."""
+    return ((high_word & 0xFFFFFFFF) << 32) | (low_word & 0xFFFFFFFF)
+
+
+def submit_task_hw(core: Core, task: Task, sw_id: int,
+                   stall_handler=None) -> Generator:
+    """Submit ``task`` to Picos through the custom instructions.
+
+    The descriptor prefix is transmitted with Submit Three Packets, which the
+    paper recommends because the non-zero packet count is always a multiple
+    of three.  Returns the number of retries that were needed (useful for
+    tests asserting on back-pressure behaviour).
+
+    ``stall_handler`` is an optional generator factory run between retries of
+    a rejected non-blocking instruction.  The paper's deadlock discussion
+    (Section IV-C) is exactly about this: because the instructions fail fast
+    instead of blocking, a thread that both produces and consumes tasks can
+    switch to executing ready tasks whenever the submission path is backed
+    up, which guarantees forward progress.
+    """
+    descriptor = TaskDescriptor(sw_id=sw_id, dependences=task.dependences)
+    packets = encode_nonzero_packets(descriptor)
+    retries = 0
+    retries += yield from _issue_until_success(
+        core,
+        RoccCommand(TaskSchedulingFunct.SUBMISSION_REQUEST,
+                    rs1_value=len(packets)),
+        stall_handler,
+    )
+    for offset in range(0, len(packets), 3):
+        p1, p2, p3 = packets[offset:offset + 3]
+        command = RoccCommand(
+            TaskSchedulingFunct.SUBMIT_THREE_PACKETS,
+            rs1_value=_pack_words(p1, p2),
+            rs2_value=p3,
+        )
+        retries += yield from _issue_until_success(core, command, stall_handler)
+    return retries
+
+
+def request_ready_task(core: Core) -> Generator:
+    """Issue one Ready Task Request; returns True if it was accepted."""
+    response = yield from core.rocc(
+        RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST)
+    )
+    return response.success
+
+
+def fetch_ready_task(core: Core) -> Generator:
+    """Try to pop one ready task from this core's private ready queue.
+
+    Issues Fetch SW ID and, when it succeeds, Fetch Picos ID.  Returns a
+    :class:`FetchedTask` or ``None`` when the private queue is empty.
+    """
+    sw_response = yield from core.rocc(
+        RoccCommand(TaskSchedulingFunct.FETCH_SW_ID)
+    )
+    if sw_response.failed:
+        return None
+    picos_response = yield from core.rocc(
+        RoccCommand(TaskSchedulingFunct.FETCH_PICOS_ID)
+    )
+    if picos_response.failed:
+        raise RuntimeModelError(
+            "Fetch Picos ID failed right after a successful Fetch SW ID"
+        )
+    return FetchedTask(sw_id=sw_response.value, picos_id=picos_response.value)
+
+
+def retire_task_hw(core: Core, picos_id: int) -> Generator:
+    """Issue the blocking Retire Task instruction for ``picos_id``."""
+    response = yield from core.rocc(
+        RoccCommand(TaskSchedulingFunct.RETIRE_TASK, rs1_value=picos_id)
+    )
+    if response.failed:  # pragma: no cover - Retire Task cannot fail
+        raise RuntimeModelError("Retire Task reported failure")
+    return None
+
+
+def _issue_until_success(core: Core, command: RoccCommand,
+                         stall_handler=None) -> Generator:
+    """Retry a non-blocking instruction until the hardware accepts it.
+
+    Between retries the core either runs ``stall_handler()`` (role switching:
+    typically "fetch and execute one ready task") or pauses briefly.
+    """
+    retries = 0
+    while True:
+        response = yield from core.rocc(command)
+        if response.success:
+            return retries
+        retries += 1
+        if retries > _MAX_RETRIES:
+            raise RuntimeModelError(
+                f"instruction {command.funct.name} failed {retries} times"
+            )
+        yield from core.execute(_RETRY_LOOP_INSTRUCTIONS)
+        if stall_handler is not None:
+            yield from stall_handler()
+        else:
+            yield Delay(_RETRY_BACKOFF_CYCLES)

@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate (engine, queues, arbiters)."""
+
+from repro.sim.arbiters import GuidedArbiter, InOrderArbiter, RoundRobinArbiter
+from repro.sim.engine import (
+    Command,
+    Delay,
+    Engine,
+    Event,
+    Fork,
+    Get,
+    Join,
+    Process,
+    ProcessGen,
+    Put,
+    Wait,
+)
+from repro.sim.queues import DecoupledQueue, ProtocolCrossingQueue
+
+__all__ = [
+    "Command",
+    "Delay",
+    "Engine",
+    "Event",
+    "Fork",
+    "Get",
+    "Join",
+    "Process",
+    "ProcessGen",
+    "Put",
+    "Wait",
+    "DecoupledQueue",
+    "ProtocolCrossingQueue",
+    "GuidedArbiter",
+    "InOrderArbiter",
+    "RoundRobinArbiter",
+]

@@ -1,0 +1,393 @@
+"""Discrete-event simulation engine with a core-cycle clock.
+
+The engine is the substrate every other subsystem runs on.  It is an
+event-driven simulator in the style of SimPy, written from scratch so the
+library has no external simulation dependency:
+
+* **Time** is an integer number of *core clock cycles*.
+* **Processes** are Python generators.  A process performs simulated work by
+  ``yield``-ing :class:`Command` objects (:class:`Delay`, :class:`Put`,
+  :class:`Get`, :class:`Wait`, :class:`Fork`, :class:`Join`) and composes
+  sub-behaviours with plain ``yield from``.
+* **Events** are one-shot synchronisation points carrying an optional value.
+
+The engine detects deadlock: if the event heap drains while processes are
+still blocked, :class:`~repro.common.errors.DeadlockError` is raised with a
+description of every waiter.  This is the mechanism the test-suite uses to
+demonstrate the two deadlock scenarios of Section IV-C of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.common.errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Command",
+    "Delay",
+    "Put",
+    "Get",
+    "Wait",
+    "Fork",
+    "Join",
+    "Event",
+    "Process",
+    "Engine",
+    "ProcessGen",
+]
+
+#: Type alias for the generators that implement simulated processes.
+ProcessGen = Generator["Command", Any, Any]
+
+
+class Command:
+    """Base class of every value a process may yield to the engine."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Delay(Command):
+    """Suspend the yielding process for ``cycles`` core clock cycles."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise SimulationError(f"Delay must be non-negative, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Put(Command):
+    """Enqueue ``item`` into ``queue``, blocking while the queue is full."""
+
+    queue: Any
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get(Command):
+    """Dequeue one item from ``queue``, blocking while it is empty.
+
+    The dequeued item becomes the value of the ``yield`` expression.
+    """
+
+    queue: Any
+
+
+@dataclass(frozen=True)
+class Wait(Command):
+    """Block until ``event`` is triggered; yields the event's value."""
+
+    event: "Event"
+
+
+@dataclass(frozen=True)
+class Fork(Command):
+    """Start ``generator`` as a new concurrent process.
+
+    The value of the ``yield`` expression is the new :class:`Process`.
+    """
+
+    generator: ProcessGen
+    name: str = ""
+    daemon: bool = False
+
+
+@dataclass(frozen=True)
+class Join(Command):
+    """Block until ``process`` finishes; yields the process return value."""
+
+    process: "Process"
+
+
+class Event:
+    """A one-shot event: processes wait on it, someone triggers it once."""
+
+    __slots__ = ("engine", "name", "_triggered", "_value", "_waiters",
+                 "_callbacks")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List[Process] = []
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`trigger` (None before triggering)."""
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter at the current cycle."""
+        if self._triggered:
+            raise SimulationError(f"Event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._resume(process, value)
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when the event fires (now, if it already has)."""
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Process:
+    """A running simulated process wrapping a generator."""
+
+    __slots__ = ("engine", "generator", "name", "pid", "finished", "result",
+                 "_completion", "waiting_on", "daemon")
+
+    def __init__(self, engine: "Engine", generator: ProcessGen, name: str,
+                 pid: int, daemon: bool = False) -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.pid = pid
+        self.finished = False
+        self.result: Any = None
+        self._completion = Event(engine, name=f"{name}.completion")
+        #: Human-readable description of what the process is blocked on.
+        self.waiting_on: str = "start"
+        #: Daemon processes model always-on hardware; they never count as
+        #: "blocked work" for deadlock detection or run termination.
+        self.daemon = daemon
+
+    @property
+    def completion(self) -> Event:
+        """Event triggered (with the return value) when the process ends."""
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else f"waiting on {self.waiting_on}"
+        return f"Process(#{self.pid} {self.name!r}, {state})"
+
+
+class Engine:
+    """The discrete-event simulator driving every model in the library."""
+
+    def __init__(self, max_cycles: int = 5_000_000_000, trace: bool = False) -> None:
+        if max_cycles <= 0:
+            raise SimulationError("max_cycles must be positive")
+        self.max_cycles = max_cycles
+        self.trace = trace
+        self.now: int = 0
+        self._heap: List[Any] = []
+        self._sequence = itertools.count()
+        self._pid_counter = itertools.count()
+        self._live_processes: Dict[int, Process] = {}
+        self._trace_log: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def event(self, name: str = "") -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self, name)
+
+    def spawn(self, generator: ProcessGen, name: str = "process",
+              daemon: bool = False) -> Process:
+        """Register ``generator`` as a new process starting at ``now``.
+
+        Daemon processes model always-on hardware loops (arbiters, device
+        pipelines): they may block forever without being reported as a
+        deadlock once every non-daemon process has finished.
+        """
+        process = Process(self, generator, name, next(self._pid_counter), daemon)
+        self._live_processes[process.pid] = process
+        self._schedule(0, process, None)
+        return process
+
+    def schedule_callback(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` cycles (for hardware timers)."""
+        if delay < 0:
+            raise SimulationError("callback delay must be non-negative")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), None, callback)
+        )
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event heap drains or ``until`` cycles have elapsed.
+
+        Returns the final simulation time.  Raises
+        :class:`~repro.common.errors.DeadlockError` if processes remain
+        blocked when no further event can occur, and
+        :class:`~repro.common.errors.SimulationError` if the run exceeds the
+        configured ``max_cycles`` horizon.
+        """
+        horizon = self.max_cycles if until is None else min(until, self.max_cycles)
+        while self._heap:
+            time, _seq, process, payload = heapq.heappop(self._heap)
+            if time > horizon:
+                # Push back so a later run() with a larger horizon continues.
+                heapq.heappush(self._heap, (time, _seq, process, payload))
+                if until is None:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={self.max_cycles}"
+                    )
+                self.now = horizon
+                return self.now
+            self.now = time
+            if process is None:
+                # Plain callback scheduled via schedule_callback().
+                payload()
+                continue
+            self._step(process, payload)
+        if until is None and self._blocked_processes():
+            self._raise_deadlock()
+        return self.now
+
+    def run_until_idle(self) -> int:
+        """Run to completion, requiring every non-daemon process to finish."""
+        self.run()
+        blocked = self._blocked_processes()
+        if blocked:
+            self._raise_deadlock()
+        return self.now
+
+    def run_until_complete(self, processes: Iterable[Process]) -> int:
+        """Run until every process in ``processes`` has finished.
+
+        This is the primary entry point used by the SoC model: it terminates
+        as soon as the watched processes (the per-core runtime workers) are
+        done, regardless of daemon hardware processes that remain parked on
+        empty queues.  Raises :class:`DeadlockError` if the event heap drains
+        while a watched process is still blocked.
+        """
+        watched = list(processes)
+        while not all(p.finished for p in watched):
+            if not self._heap:
+                blocked = [p for p in watched if not p.finished]
+                details = ", ".join(f"{p.name}[{p.waiting_on}]" for p in blocked)
+                raise DeadlockError(
+                    f"simulation deadlocked at cycle {self.now}: "
+                    f"watched process(es) blocked: {details}"
+                )
+            time, _seq, process, payload = heapq.heappop(self._heap)
+            if time > self.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self.max_cycles}"
+                )
+            self.now = time
+            if process is None:
+                payload()
+            else:
+                self._step(process, payload)
+        return self.now
+
+    @property
+    def live_processes(self) -> List[Process]:
+        """Processes that have been spawned and have not yet finished."""
+        return list(self._live_processes.values())
+
+    @property
+    def trace_log(self) -> List[str]:
+        """Collected trace lines (only populated when ``trace=True``)."""
+        return list(self._trace_log)
+
+    # ------------------------------------------------------------------ #
+    # Internal machinery
+    # ------------------------------------------------------------------ #
+    def _schedule(self, delay: int, process: Process, value: Any) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), process, value)
+        )
+
+    def _resume(self, process: Process, value: Any) -> None:
+        """Wake ``process`` at the current cycle with ``value``."""
+        self._schedule(0, process, value)
+
+    def _step(self, process: Process, send_value: Any) -> None:
+        if process.finished:
+            return
+        try:
+            command = process.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(process, stop.value)
+            return
+        self._dispatch(process, command)
+
+    def _finish(self, process: Process, result: Any) -> None:
+        process.finished = True
+        process.result = result
+        process.waiting_on = "finished"
+        self._live_processes.pop(process.pid, None)
+        if self.trace:
+            self._trace_log.append(f"[{self.now}] {process.name} finished")
+        process.completion.trigger(result)
+
+    def _dispatch(self, process: Process, command: Command) -> None:
+        if isinstance(command, Delay):
+            process.waiting_on = f"delay({command.cycles})"
+            self._schedule(command.cycles, process, None)
+        elif isinstance(command, Put):
+            process.waiting_on = f"put({command.queue!r})"
+            command.queue._blocking_put(process, command.item)
+        elif isinstance(command, Get):
+            process.waiting_on = f"get({command.queue!r})"
+            command.queue._blocking_get(process)
+        elif isinstance(command, Wait):
+            process.waiting_on = f"wait({command.event.name})"
+            if command.event.triggered:
+                self._resume(process, command.event.value)
+            else:
+                command.event._add_waiter(process)
+        elif isinstance(command, Fork):
+            child = self.spawn(
+                command.generator, command.name or "forked", daemon=command.daemon
+            )
+            self._resume(process, child)
+        elif isinstance(command, Join):
+            target = command.process
+            process.waiting_on = f"join({target.name})"
+            if target.finished:
+                self._resume(process, target.result)
+            else:
+                target.completion._add_waiter(process)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded a non-Command value: {command!r}"
+            )
+        if self.trace:
+            self._trace_log.append(
+                f"[{self.now}] {process.name} -> {type(command).__name__}"
+            )
+
+    def _blocked_processes(self) -> List[Process]:
+        return [
+            p for p in self._live_processes.values()
+            if not p.finished and not p.daemon
+        ]
+
+    def _raise_deadlock(self) -> None:
+        blocked = self._blocked_processes()
+        details = ", ".join(f"{p.name}[{p.waiting_on}]" for p in blocked)
+        raise DeadlockError(
+            f"simulation deadlocked at cycle {self.now}: "
+            f"{len(blocked)} process(es) blocked: {details}"
+        )

@@ -1,0 +1,41 @@
+"""Workload factory helpers shared by the test suite."""
+
+from __future__ import annotations
+
+from repro.runtime.task import Task, TaskProgram, in_dep, inout_dep, out_dep
+
+def make_chain_program(num_tasks: int = 10, payload: int = 200,
+                       num_deps: int = 1, name: str = "chain") -> TaskProgram:
+    """A dependence chain: every task inout-touches the same addresses."""
+    addresses = [0x9000_0000 + 4096 * i for i in range(num_deps)]
+    tasks = [
+        Task(index=i, payload_cycles=payload,
+             dependences=tuple(inout_dep(a) for a in addresses))
+        for i in range(num_tasks)
+    ]
+    return TaskProgram(name=name, tasks=tasks)
+
+
+def make_independent_program(num_tasks: int = 16, payload: int = 500,
+                             name: str = "independent") -> TaskProgram:
+    """Fully independent tasks, each writing its own block."""
+    tasks = [
+        Task(index=i, payload_cycles=payload,
+             dependences=(out_dep(0xA000_0000 + 4096 * i),))
+        for i in range(num_tasks)
+    ]
+    return TaskProgram(name=name, tasks=tasks)
+
+
+def make_fork_join_program(width: int = 6, payload: int = 300,
+                           name: str = "fork-join") -> TaskProgram:
+    """A producer task, ``width`` parallel consumers, and a final reducer."""
+    source = 0xB000_0000
+    sinks = [0xB100_0000 + 4096 * i for i in range(width)]
+    tasks = [Task(index=0, payload_cycles=payload, dependences=(out_dep(source),))]
+    for i in range(width):
+        tasks.append(Task(index=i + 1, payload_cycles=payload,
+                          dependences=(in_dep(source), out_dep(sinks[i]))))
+    tasks.append(Task(index=width + 1, payload_cycles=payload,
+                      dependences=tuple(in_dep(s) for s in sinks[:8])))
+    return TaskProgram(name=name, tasks=tasks)

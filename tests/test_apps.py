@@ -1,0 +1,274 @@
+"""Tests for the benchmark workload generators and their reference kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.blackscholes import (
+    BlackscholesData,
+    PAPER_INPUTS as BLACKSCHOLES_INPUTS,
+    blackscholes_program,
+    blackscholes_reference,
+)
+from repro.apps.granularity import task_chain_program, task_free_program
+from repro.apps.jacobi import PAPER_INPUTS as JACOBI_INPUTS, jacobi_program, \
+    jacobi_reference
+from repro.apps.sparselu import (
+    PAPER_INPUTS as SPARSELU_INPUTS,
+    paper_input_parameters,
+    sparselu_program,
+    sparselu_reference,
+)
+from repro.apps.stream import (
+    PAPER_INPUTS as STREAM_INPUTS,
+    stream_program,
+    stream_reference,
+)
+from repro.apps.workload import BlockSpace, KernelCosts
+from repro.common.errors import WorkloadError
+from repro.picos.dependence import TaskGraph
+from repro.runtime import SerialRuntime
+
+
+def run_kernels_in_dependence_order(program):
+    """Execute every kernel respecting the program's dependences/taskwaits."""
+    for phase in program.phases():
+        graph = TaskGraph(capacity=len(phase) + 1)
+        pending = {}
+        for task in phase:
+            graph_id, ready = graph.submit(task.index, task.dependences)
+            pending[graph_id] = task
+        # Repeatedly retire any ready task until the phase drains.
+        while pending:
+            ready_ids = [gid for gid, task in pending.items()
+                         if graph.task(gid).is_ready
+                         or graph.task(gid).state.name == "READY"]
+            assert ready_ids, "dependence cycle in generated program"
+            for gid in ready_ids:
+                pending.pop(gid).run_kernel()
+                graph.retire(gid)
+
+
+class TestWorkloadHelpers:
+    def test_block_space_is_stable_and_disjoint(self):
+        space = BlockSpace(block_bytes=256)
+        a0 = space.address("A", 0)
+        a0_again = space.address("A", 0)
+        a1 = space.address("A", 1)
+        assert a0 == a0_again
+        assert abs(a1 - a0) >= 256
+        assert space.num_blocks == 2
+
+    def test_kernel_costs_validation(self):
+        with pytest.raises(WorkloadError):
+            KernelCosts(stream_per_element=0)
+
+
+class TestGranularityMicrobenchmarks:
+    def test_task_free_has_no_dependent_tasks(self):
+        program = task_free_program(num_tasks=20, num_dependences=3)
+        assert program.num_tasks == 20
+        assert all(task.num_dependences == 3 for task in program.tasks)
+        assert program.critical_path_cycles() == 0
+        graph = TaskGraph()
+        ready_flags = [graph.submit(t.index, t.dependences)[1]
+                       for t in program.tasks]
+        assert all(ready_flags)
+
+    def test_task_chain_is_a_single_chain(self):
+        program = task_chain_program(num_tasks=10, num_dependences=2,
+                                     payload_cycles=100)
+        assert program.critical_path_cycles() == 10 * 100
+        assert program.ideal_speedup(8) == pytest.approx(1.0)
+
+    def test_argument_validation(self):
+        with pytest.raises(WorkloadError):
+            task_free_program(num_tasks=0)
+        with pytest.raises(WorkloadError):
+            task_chain_program(num_dependences=16)
+        with pytest.raises(WorkloadError):
+            task_free_program(payload_cycles=-1)
+
+
+class TestBlackscholes:
+    def test_paper_inputs_cover_both_portfolios(self):
+        assert len(BLACKSCHOLES_INPUTS) == 12
+        assert {label for label, _ in BLACKSCHOLES_INPUTS} == {"4K", "16K"}
+
+    def test_block_decomposition(self):
+        program = blackscholes_program("4K", block_size=64)
+        assert program.num_tasks == 64
+        assert all(task.num_dependences == 2 for task in program.tasks)
+        assert program.parameters["num_options"] == 4096
+
+    def test_tasks_are_independent(self):
+        program = blackscholes_program("4K", block_size=512)
+        graph = TaskGraph()
+        assert all(graph.submit(t.index, t.dependences)[1]
+                   for t in program.tasks)
+
+    def test_granularity_scales_with_block_size(self):
+        fine = blackscholes_program("4K", block_size=8)
+        coarse = blackscholes_program("4K", block_size=256)
+        assert coarse.mean_task_cycles == pytest.approx(
+            32 * fine.mean_task_cycles)
+        assert fine.num_tasks == 32 * coarse.num_tasks
+
+    def test_kernels_match_reference(self):
+        data = BlackscholesData(256)
+        expected = blackscholes_reference(BlackscholesData(256))
+        program = blackscholes_program("256", block_size=32,
+                                       with_kernels=True, data=data)
+        run_kernels_in_dependence_order(program)
+        np.testing.assert_allclose(data.prices, expected, rtol=1e-10)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            blackscholes_program("bogus", 8)
+        with pytest.raises(WorkloadError):
+            blackscholes_program("4K", 0)
+        with pytest.raises(WorkloadError):
+            blackscholes_program("4K", 5000)
+
+
+class TestJacobi:
+    def test_paper_inputs(self):
+        assert JACOBI_INPUTS == [(128, 1), (256, 1), (512, 1)]
+
+    def test_task_count_and_dependences(self):
+        program = jacobi_program(grid_blocks=16, block_factor=1, iterations=3)
+        assert program.num_tasks == 48
+        assert program.max_dependences <= 4
+        # Interior tasks read three blocks and write one.
+        interior = program.tasks[5]
+        assert interior.num_dependences == 4
+
+    def test_iterations_chain_through_buffers(self):
+        program = jacobi_program(grid_blocks=4, block_factor=1, iterations=2)
+        # A task of iteration 1 must depend on iteration-0 output.
+        graph = TaskGraph()
+        ready = [graph.submit(t.index, t.dependences)[1] for t in program.tasks]
+        assert all(ready[:4])
+        assert not any(ready[4:])
+
+    def test_kernels_match_reference(self):
+        iterations = 3
+        program = jacobi_program(grid_blocks=4, block_factor=1,
+                                 iterations=iterations, with_kernels=True)
+        state = program.parameters["state"]
+        initial = state["buffers"][0].copy()
+        source = state["source"].copy()
+        expected = jacobi_reference(initial, source, iterations)
+        run_kernels_in_dependence_order(program)
+        result = state["buffers"][program.parameters["result_buffer"]]
+        np.testing.assert_allclose(result[1:-1], expected[1:-1], rtol=1e-10)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            jacobi_program(grid_blocks=0)
+        with pytest.raises(WorkloadError):
+            jacobi_program(grid_blocks=4, block_factor=8)
+
+
+class TestSparseLU:
+    def test_paper_inputs_map_to_parameters(self):
+        assert len(SPARSELU_INPUTS) == 10
+        blocks, dim = paper_input_parameters("N32", 4)
+        assert blocks > 0 and dim > 0
+        with pytest.raises(WorkloadError):
+            paper_input_parameters("N7", 1)
+        with pytest.raises(WorkloadError):
+            paper_input_parameters("N32", 0)
+
+    def test_task_kinds_and_dependences(self):
+        program = sparselu_program(num_blocks=4, block_dim=8)
+        names = {task.name.split("_")[0] for task in program.tasks}
+        assert names == {"lu0", "fwd", "bdiv", "bmod"}
+        assert program.max_dependences == 3
+        # The first lu0 must be ready; later diagonal factorisations not.
+        graph = TaskGraph()
+        ready = {t.name: graph.submit(t.index, t.dependences)[1]
+                 for t in program.tasks}
+        assert ready["lu0_0"]
+        assert not ready["lu0_1"]
+
+    def test_granularity_scales_with_block_dim(self):
+        small = sparselu_program(num_blocks=4, block_dim=4)
+        large = sparselu_program(num_blocks=4, block_dim=16)
+        assert large.mean_task_cycles > 20 * small.mean_task_cycles
+
+    def test_kernels_factorise_diagonally_dominant_blocks(self):
+        program = sparselu_program(num_blocks=3, block_dim=8,
+                                   with_kernels=True)
+        state = program.parameters["state"]
+        # Assemble the dense matrix before factorisation.
+        dim = 8
+        n = 3 * dim
+        dense = np.zeros((n, n))
+        for (i, j), block in state.items():
+            dense[i * dim:(i + 1) * dim, j * dim:(j + 1) * dim] = block
+        expected = sparselu_reference(dense)
+        run_kernels_in_dependence_order(program)
+        factored = np.zeros((n, n))
+        for (i, j), block in state.items():
+            factored[i * dim:(i + 1) * dim, j * dim:(j + 1) * dim] = block
+        # The blocked factorisation touches only allocated blocks; compare
+        # the diagonal blocks, which are always allocated and fully updated.
+        for k in range(3):
+            np.testing.assert_allclose(
+                factored[k * dim:(k + 1) * dim, k * dim:(k + 1) * dim],
+                expected[k * dim:(k + 1) * dim, k * dim:(k + 1) * dim],
+                rtol=1e-8,
+            )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            sparselu_program(num_blocks=0, block_dim=4)
+
+
+class TestStream:
+    def test_paper_inputs(self):
+        assert len(STREAM_INPUTS) == 6
+
+    def test_deps_and_barr_have_same_tasks_different_sync(self):
+        deps = stream_program(8, 32, iterations=2, use_dependences=True)
+        barr = stream_program(8, 32, iterations=2, use_dependences=False)
+        assert deps.num_tasks == barr.num_tasks == 8 * 4 * 2
+        assert deps.taskwait_after == set()
+        assert len(barr.taskwait_after) == 4 * 2
+        assert deps.max_dependences == 3
+        assert barr.max_dependences == 1
+
+    def test_stream_deps_chains_operations_blockwise(self):
+        program = stream_program(2, 16, iterations=1, use_dependences=True)
+        graph = TaskGraph()
+        ready = [graph.submit(t.index, t.dependences)[1] for t in program.tasks]
+        # copy tasks ready immediately; scale tasks depend on copy output.
+        assert ready[0] and ready[1]
+        assert not ready[2] and not ready[3]
+
+    def test_kernels_match_reference(self):
+        iterations = 2
+        program = stream_program(4, 16, iterations=iterations,
+                                 use_dependences=True, with_kernels=True)
+        state = program.parameters["state"]
+        expected = stream_reference(state["a"], state["b"], state["c"],
+                                    iterations)
+        run_kernels_in_dependence_order(program)
+        for array, reference in zip(("a", "b", "c"), expected):
+            np.testing.assert_allclose(state[array], reference, rtol=1e-12)
+
+    def test_serial_runtime_executes_stream_kernels_correctly(self):
+        iterations = 2
+        program = stream_program(4, 16, iterations=iterations,
+                                 use_dependences=False, with_kernels=True)
+        state = program.parameters["state"]
+        expected = stream_reference(state["a"], state["b"], state["c"],
+                                    iterations)
+        SerialRuntime().run(program)
+        np.testing.assert_allclose(state["a"], expected[0], rtol=1e-12)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            stream_program(0, 16)

@@ -1,0 +1,181 @@
+"""Tests for the core model and the SoC wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.cpu.core import Core
+from repro.cpu.rocc import RoccCommand, TaskSchedulingFunct
+from repro.cpu.soc import SoC
+
+
+def run_program(soc, generator, core_id=0):
+    process = soc.spawn_worker(core_id, generator, name="test_program")
+    soc.run([process])
+    return process
+
+
+class TestCore:
+    def test_execute_charges_cpi_adjusted_cycles(self):
+        soc = SoC(SimConfig())
+        core = soc.core(0)
+
+        def program():
+            yield from core.execute(100)
+
+        run_program(soc, program())
+        assert soc.now == 120  # CPI of 1.2
+        assert core.overhead_cycles == 120
+        assert core.stats.counter("instructions") == 100
+
+    def test_compute_counts_as_busy_cycles(self):
+        soc = SoC(SimConfig())
+        core = soc.core(0)
+
+        def program():
+            yield from core.compute(500)
+
+        run_program(soc, program())
+        assert core.busy_cycles == 500
+        assert core.overhead_cycles == 0
+        assert core.utilization(soc.now) == pytest.approx(1.0)
+
+    def test_concurrent_payloads_are_stretched_by_contention(self):
+        config = SimConfig()
+        soc = SoC(config)
+        alpha = config.costs.memory.payload_contention_per_core
+
+        def program(core_id):
+            yield from soc.core(core_id).compute(10_000)
+
+        workers = [soc.spawn_worker(i, program(i)) for i in range(8)]
+        soc.run(workers)
+        # With 8 concurrent payloads the slowest one pays the full factor.
+        assert soc.now >= int(10_000 * (1 + alpha * 7)) - 1
+        assert soc.now < int(10_000 * (1 + alpha * 8))
+
+    def test_serial_payload_not_stretched(self):
+        soc = SoC(SimConfig())
+
+        def program():
+            yield from soc.core(0).compute(10_000)
+
+        run_program(soc, program())
+        assert soc.now == 10_000
+
+    def test_memory_helpers_charge_cycles(self):
+        soc = SoC(SimConfig())
+        core = soc.core(0)
+        region = soc.memory.allocate("buf", 256)
+
+        def program():
+            yield from core.load(region.base)
+            yield from core.store(region.base)
+            yield from core.atomic(region.base)
+            yield from core.syscall(1000)
+            yield from core.charge(50)
+
+        run_program(soc, program())
+        assert core.stats.counter("loads") == 1
+        assert core.stats.counter("stores") == 1
+        assert core.stats.counter("atomics") == 1
+        assert core.stats.counter("syscalls") == 1
+        assert soc.now > 1000
+
+    def test_negative_amounts_rejected(self):
+        soc = SoC(SimConfig())
+        core = soc.core(0)
+        with pytest.raises(ProtocolError):
+            list(core.execute(-1))
+        with pytest.raises(ProtocolError):
+            list(core.compute(-5))
+        with pytest.raises(ProtocolError):
+            list(core.charge(-5))
+
+    def test_rocc_without_accelerator_raises(self):
+        soc = SoC(SimConfig(), with_picos=False)
+        core = soc.core(0)
+        with pytest.raises(ProtocolError):
+            list(core.rocc(RoccCommand(TaskSchedulingFunct.FETCH_SW_ID)))
+
+    def test_double_accelerator_attach_rejected(self):
+        soc = SoC(SimConfig())
+        with pytest.raises(ProtocolError):
+            soc.core(0).attach_accelerator(object())
+
+    def test_core_id_bounds(self):
+        config = SimConfig().with_cores(2)
+        soc = SoC(config)
+        with pytest.raises(ConfigurationError):
+            Core(5, soc.engine, soc.memory, config)
+
+
+class TestSoC:
+    def test_default_build_has_picos_manager_and_delegates(self):
+        soc = SoC(SimConfig())
+        assert soc.num_cores == 8
+        assert soc.picos is not None
+        assert soc.manager is not None
+        assert len(soc.delegates) == 8
+        assert all(core.accelerator is not None for core in soc.cores)
+
+    def test_build_without_picos(self):
+        soc = SoC(SimConfig(), with_picos=False)
+        assert soc.picos is None
+        assert soc.manager is None
+        assert soc.delegates == []
+        with pytest.raises(ConfigurationError):
+            soc.axi_interface()
+
+    def test_build_with_picos_but_without_rocc(self):
+        soc = SoC(SimConfig(), with_picos=True, with_rocc=False)
+        assert soc.picos is not None
+        assert soc.manager is None
+        axi = soc.axi_interface()
+        assert axi is soc.axi_interface()  # cached
+
+    def test_core_lookup_bounds(self):
+        soc = SoC(SimConfig().with_cores(2))
+        with pytest.raises(ConfigurationError):
+            soc.core(2)
+
+    def test_run_requires_workers(self):
+        soc = SoC(SimConfig())
+        with pytest.raises(ConfigurationError):
+            soc.run()
+
+    def test_stats_report_merges_all_scopes(self):
+        soc = SoC(SimConfig())
+        core = soc.core(0)
+
+        def program():
+            yield from core.execute(10)
+            yield from core.load(soc.memory.allocate("x", 64).base)
+
+        run_program(soc, program())
+        report = soc.stats_report()
+        assert report.get("core0.instructions") == 10
+        assert any(key.startswith("memory.") for key in report)
+
+    def test_busy_and_overhead_totals(self):
+        soc = SoC(SimConfig())
+
+        def program(core_id):
+            yield from soc.core(core_id).compute(100)
+            yield from soc.core(core_id).execute(10)
+
+        workers = [soc.spawn_worker(i, program(i)) for i in range(2)]
+        soc.run(workers)
+        assert soc.total_busy_cycles() >= 200
+        assert soc.total_overhead_cycles() == 24
+
+    def test_wall_clock_conversion(self):
+        soc = SoC(SimConfig())
+
+        def program():
+            yield from soc.core(0).compute(80_000)
+
+        run_program(soc, program())
+        assert soc.wall_clock_seconds() == pytest.approx(0.001)

@@ -1,0 +1,209 @@
+"""Tests for the Picos Delegate: the seven custom instructions of Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.errors import ProtocolError
+from repro.cpu.rocc import FAILURE_FLAG, RoccCommand, TaskSchedulingFunct
+from repro.cpu.soc import SoC
+from repro.picos.packets import encode_nonzero_packets, TaskDescriptor, \
+    TaskDependence, Direction
+from repro.sim.engine import Delay
+
+
+def make_soc(num_cores=2):
+    return SoC(SimConfig().with_cores(num_cores))
+
+
+def run_instruction(soc, core_id, command):
+    """Issue one RoCC command from a core and return its response."""
+    responses = []
+
+    def program():
+        response = yield from soc.core(core_id).rocc(command)
+        responses.append(response)
+
+    process = soc.engine.spawn(program(), name="instr")
+    soc.engine.run_until_complete([process])
+    return responses[0]
+
+
+def run_program(soc, core_id, generator):
+    process = soc.engine.spawn(generator, name="program")
+    soc.engine.run_until_complete([process])
+    return process.result
+
+
+def settle(soc, cycles=5_000):
+    def idler():
+        yield Delay(cycles)
+
+    process = soc.engine.spawn(idler(), name="settle")
+    soc.engine.run_until_complete([process])
+
+
+def submit_whole_task(soc, core_id, sw_id, deps=()):
+    """Drive Submission Request + Submit Three Packets for one descriptor."""
+    descriptor = TaskDescriptor(sw_id=sw_id, dependences=tuple(deps))
+    packets = encode_nonzero_packets(descriptor)
+
+    def program():
+        core = soc.core(core_id)
+        response = yield from core.rocc(RoccCommand(
+            TaskSchedulingFunct.SUBMISSION_REQUEST, rs1_value=len(packets)))
+        assert response.success
+        for offset in range(0, len(packets), 3):
+            p1, p2, p3 = packets[offset:offset + 3]
+            response = yield from core.rocc(RoccCommand(
+                TaskSchedulingFunct.SUBMIT_THREE_PACKETS,
+                rs1_value=(p1 << 32) | p2, rs2_value=p3))
+            assert response.success
+
+    run_program(soc, core_id, program())
+    settle(soc)
+
+
+class TestSubmissionInstructions:
+    def test_submission_request_then_packets_reach_picos(self):
+        soc = make_soc()
+        submit_whole_task(soc, 0, sw_id=7,
+                          deps=[TaskDependence(0x100, Direction.OUT)])
+        assert soc.picos.graph.total_submitted == 1
+        assert soc.picos.sw_id_of(0) == 7
+
+    def test_submit_packet_single_word_variant(self):
+        soc = make_soc()
+
+        def program():
+            core = soc.core(0)
+            response = yield from core.rocc(RoccCommand(
+                TaskSchedulingFunct.SUBMISSION_REQUEST, rs1_value=3))
+            assert response.success
+            # sw_id = 9, zero dependences, one packet at a time.
+            for word in (0, 9, 0):
+                response = yield from core.rocc(RoccCommand(
+                    TaskSchedulingFunct.SUBMIT_PACKET, rs1_value=word))
+                assert response.success
+
+        run_program(soc, 0, program())
+        settle(soc)
+        assert soc.picos.graph.total_submitted == 1
+        assert soc.picos.sw_id_of(0) == 9
+
+    def test_submission_request_failure_flag_when_announcements_pile_up(self):
+        """Announcing without ever sending packets eventually fails fast.
+
+        The Submission Handler can hold a small number of outstanding
+        announcements per core (its announcement queue plus the one the pump
+        is currently serving); beyond that the non-blocking instruction must
+        return the failure flag instead of stalling the core.
+        """
+        soc = make_soc()
+        command = RoccCommand(TaskSchedulingFunct.SUBMISSION_REQUEST,
+                              rs1_value=3)
+        responses = [run_instruction(soc, 0, command) for _ in range(6)]
+        assert responses[0].success
+        failures = [r for r in responses if r.failed]
+        assert failures, "Submission Request never reported back-pressure"
+        assert all(r.value == FAILURE_FLAG for r in failures)
+        # Once a request fails, later ones keep failing until packets arrive.
+        assert run_instruction(soc, 0, command).failed
+
+
+class TestWorkFetchInstructions:
+    def test_fetch_sw_id_fails_on_empty_queue(self):
+        soc = make_soc()
+        response = run_instruction(
+            soc, 0, RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        assert response.failed
+
+    def test_fetch_picos_id_requires_prior_fetch_sw_id(self):
+        soc = make_soc()
+        submit_whole_task(soc, 0, sw_id=3)
+        assert run_instruction(
+            soc, 1, RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST)).success
+        settle(soc)
+        # Skipping Fetch SW ID: Fetch Picos ID must fail and not pop.
+        response = run_instruction(
+            soc, 1, RoccCommand(TaskSchedulingFunct.FETCH_PICOS_ID))
+        assert response.failed
+        assert not soc.manager.core_ready_queue(1).empty
+
+    def test_full_fetch_sequence_returns_ids_and_pops_queue(self):
+        soc = make_soc()
+        submit_whole_task(soc, 0, sw_id=55)
+        assert run_instruction(
+            soc, 1, RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST)).success
+        settle(soc)
+        sw = run_instruction(soc, 1,
+                             RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        assert sw.success and sw.value == 55
+        assert soc.delegates[1].sw_id_flag
+        picos = run_instruction(soc, 1,
+                                RoccCommand(TaskSchedulingFunct.FETCH_PICOS_ID))
+        assert picos.success
+        assert soc.manager.core_ready_queue(1).empty
+        assert not soc.delegates[1].sw_id_flag
+        # A second Fetch SW ID on the now-empty queue fails again.
+        assert run_instruction(
+            soc, 1, RoccCommand(TaskSchedulingFunct.FETCH_SW_ID)).failed
+
+    def test_fetch_sw_id_does_not_pop(self):
+        soc = make_soc()
+        submit_whole_task(soc, 0, sw_id=4)
+        run_instruction(soc, 0,
+                        RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST))
+        settle(soc)
+        first = run_instruction(soc, 0,
+                                RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        second = run_instruction(soc, 0,
+                                 RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        assert first.value == second.value == 4
+        assert len(soc.manager.core_ready_queue(0)) == 1
+
+
+class TestRetireInstruction:
+    def test_retire_task_removes_task_and_wakes_dependent(self):
+        soc = make_soc()
+        shared = TaskDependence(0x800, Direction.INOUT)
+        submit_whole_task(soc, 0, sw_id=0, deps=[shared])
+        submit_whole_task(soc, 0, sw_id=1, deps=[shared])
+        run_instruction(soc, 0,
+                        RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST))
+        settle(soc)
+        run_instruction(soc, 0, RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        picos = run_instruction(
+            soc, 0, RoccCommand(TaskSchedulingFunct.FETCH_PICOS_ID))
+        response = run_instruction(
+            soc, 0, RoccCommand(TaskSchedulingFunct.RETIRE_TASK,
+                                rs1_value=picos.value))
+        assert response.success
+        settle(soc)
+        assert soc.picos.graph.total_retired == 1
+        # The dependent task (sw_id 1) is now fetchable.
+        run_instruction(soc, 1,
+                        RoccCommand(TaskSchedulingFunct.READY_TASK_REQUEST))
+        settle(soc)
+        sw = run_instruction(soc, 1,
+                             RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        assert sw.success and sw.value == 1
+
+
+class TestDelegateConstruction:
+    def test_core_id_bounds_checked(self):
+        soc = make_soc(num_cores=2)
+        from repro.delegate.delegate import PicosDelegate
+        with pytest.raises(ProtocolError):
+            PicosDelegate(5, soc.engine, soc.manager, SimConfig().costs.rocc)
+
+    def test_instruction_stats_recorded(self):
+        soc = make_soc()
+        run_instruction(soc, 0,
+                        RoccCommand(TaskSchedulingFunct.FETCH_SW_ID))
+        delegate = soc.delegates[0]
+        assert delegate.stats.counter("instr_fetch_sw_id") == 1
+        assert delegate.stats.counter("fail_fetch_sw_id") == 1
+        core = soc.core(0)
+        assert core.stats.counter("rocc_instructions") == 1

@@ -1,0 +1,162 @@
+"""Tests for dependence inference (RAW/WAW/WAR) and the task graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import PicosError
+from repro.picos.dependence import TaskGraph, TaskState
+from repro.picos.packets import Direction, TaskDependence
+
+
+def dep(address: int, direction: Direction) -> TaskDependence:
+    return TaskDependence(address=address, direction=direction)
+
+
+A, B, C = 0x1000, 0x2000, 0x3000
+
+
+class TestDependenceInference:
+    def test_raw_dependence(self):
+        graph = TaskGraph()
+        writer, ready_w = graph.submit(0, [dep(A, Direction.OUT)])
+        reader, ready_r = graph.submit(1, [dep(A, Direction.IN)])
+        assert ready_w and not ready_r
+        assert reader in graph.task(writer).successors
+        assert graph.tracker.raw_edges == 1
+
+    def test_waw_dependence(self):
+        graph = TaskGraph()
+        first, _ = graph.submit(0, [dep(A, Direction.OUT)])
+        second, ready = graph.submit(1, [dep(A, Direction.OUT)])
+        assert not ready
+        assert second in graph.task(first).successors
+        assert graph.tracker.waw_edges == 1
+
+    def test_war_dependence(self):
+        graph = TaskGraph()
+        graph.submit(0, [dep(A, Direction.OUT)])
+        reader, _ = graph.submit(1, [dep(A, Direction.IN)])
+        writer, ready = graph.submit(2, [dep(A, Direction.OUT)])
+        assert not ready
+        assert writer in graph.task(reader).successors
+        assert graph.tracker.war_edges >= 1
+
+    def test_independent_readers_do_not_depend_on_each_other(self):
+        graph = TaskGraph()
+        graph.submit(0, [dep(A, Direction.OUT)])
+        r1, _ = graph.submit(1, [dep(A, Direction.IN)])
+        r2, _ = graph.submit(2, [dep(A, Direction.IN)])
+        assert r2 not in graph.task(r1).successors
+        assert r1 not in graph.task(r2).successors
+
+    def test_disjoint_addresses_are_independent(self):
+        graph = TaskGraph()
+        _, ready_a = graph.submit(0, [dep(A, Direction.OUT)])
+        _, ready_b = graph.submit(1, [dep(B, Direction.OUT)])
+        assert ready_a and ready_b
+
+    def test_dependence_on_retired_task_is_satisfied(self):
+        graph = TaskGraph()
+        writer, _ = graph.submit(0, [dep(A, Direction.OUT)])
+        graph.retire(writer)
+        _, ready = graph.submit(1, [dep(A, Direction.IN)])
+        assert ready
+
+    def test_inout_chain(self):
+        graph = TaskGraph()
+        previous = None
+        for index in range(5):
+            task_id, ready = graph.submit(index, [dep(A, Direction.INOUT)])
+            if index == 0:
+                assert ready
+            else:
+                assert not ready
+                assert task_id in graph.task(previous).successors
+            previous = task_id
+
+
+class TestTaskGraphLifecycle:
+    def test_retirement_wakes_direct_successors(self):
+        graph = TaskGraph()
+        producer, _ = graph.submit(0, [dep(A, Direction.OUT)])
+        consumer_1, _ = graph.submit(1, [dep(A, Direction.IN),
+                                         dep(B, Direction.OUT)])
+        consumer_2, _ = graph.submit(2, [dep(A, Direction.IN),
+                                         dep(C, Direction.OUT)])
+        newly_ready = graph.retire(producer)
+        assert set(newly_ready) == {consumer_1, consumer_2}
+        assert graph.task(consumer_1).state is TaskState.READY
+
+    def test_task_with_multiple_predecessors_waits_for_all(self):
+        graph = TaskGraph()
+        p1, _ = graph.submit(0, [dep(A, Direction.OUT)])
+        p2, _ = graph.submit(1, [dep(B, Direction.OUT)])
+        join, ready = graph.submit(2, [dep(A, Direction.IN),
+                                       dep(B, Direction.IN)])
+        assert not ready
+        assert graph.retire(p1) == []
+        assert graph.retire(p2) == [join]
+
+    def test_mark_running_requires_ready_state(self):
+        graph = TaskGraph()
+        first, _ = graph.submit(0, [dep(A, Direction.OUT)])
+        blocked, _ = graph.submit(1, [dep(A, Direction.IN)])
+        graph.mark_running(first)
+        with pytest.raises(PicosError):
+            graph.mark_running(blocked)
+
+    def test_retire_unknown_task_raises(self):
+        graph = TaskGraph()
+        with pytest.raises(PicosError):
+            graph.retire(123)
+
+    def test_retire_pending_task_raises(self):
+        graph = TaskGraph()
+        graph.submit(0, [dep(A, Direction.OUT)])
+        blocked, _ = graph.submit(1, [dep(A, Direction.IN)])
+        with pytest.raises(PicosError):
+            graph.retire(blocked)
+
+    def test_capacity_backpressure(self):
+        graph = TaskGraph(capacity=2)
+        graph.submit(0, [])
+        graph.submit(1, [])
+        assert not graph.has_capacity()
+        with pytest.raises(PicosError):
+            graph.submit(2, [])
+
+    def test_capacity_frees_on_retirement(self):
+        graph = TaskGraph(capacity=1)
+        task_id, _ = graph.submit(0, [])
+        graph.retire(task_id)
+        assert graph.has_capacity()
+        graph.submit(1, [])
+
+    def test_counters_and_bookkeeping(self):
+        graph = TaskGraph()
+        ids = [graph.submit(i, [dep(A, Direction.INOUT)])[0] for i in range(3)]
+        assert graph.total_submitted == 3
+        assert graph.in_flight == 3
+        assert graph.max_concurrent == 3
+        assert graph.pending_tasks() == ids[1:]
+        graph.retire(ids[0])
+        assert graph.total_retired == 1
+        assert graph.in_flight == 2
+
+    def test_tracker_forgets_retired_tasks(self):
+        graph = TaskGraph()
+        for index in range(10):
+            task_id, _ = graph.submit(index, [dep(A + index * 64,
+                                                  Direction.OUT)])
+            graph.retire(task_id)
+        assert graph.tracker.tracked_addresses == 0
+
+    def test_sw_id_preserved(self):
+        graph = TaskGraph()
+        task_id, _ = graph.submit(777, [])
+        assert graph.task(task_id).sw_id == 777
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(PicosError):
+            TaskGraph(capacity=0)

@@ -1,0 +1,318 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.sim.engine import (
+    Delay,
+    Engine,
+    Fork,
+    Get,
+    Join,
+    Put,
+    Wait,
+)
+from repro.sim.queues import DecoupledQueue
+
+
+def test_delay_advances_time():
+    engine = Engine()
+
+    def proc():
+        yield Delay(10)
+        yield Delay(5)
+        return engine.now
+
+    process = engine.spawn(proc())
+    engine.run()
+    assert process.finished
+    assert process.result == 15
+    assert engine.now == 15
+
+
+def test_zero_delay_is_allowed():
+    engine = Engine()
+
+    def proc():
+        yield Delay(0)
+        return "done"
+
+    process = engine.spawn(proc())
+    engine.run()
+    assert process.result == "done"
+    assert engine.now == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Delay(-1)
+
+
+def test_processes_interleave_by_time():
+    engine = Engine()
+    order = []
+
+    def proc(name, delay):
+        yield Delay(delay)
+        order.append((engine.now, name))
+
+    engine.spawn(proc("slow", 20))
+    engine.spawn(proc("fast", 5))
+    engine.spawn(proc("medium", 10))
+    engine.run()
+    assert order == [(5, "fast"), (10, "medium"), (20, "slow")]
+
+
+def test_event_wait_and_trigger():
+    engine = Engine()
+    event = engine.event("go")
+    results = []
+
+    def waiter():
+        value = yield Wait(event)
+        results.append((engine.now, value))
+
+    def trigger():
+        yield Delay(7)
+        event.trigger("payload")
+
+    engine.spawn(waiter())
+    engine.spawn(trigger())
+    engine.run()
+    assert results == [(7, "payload")]
+    assert event.triggered
+    assert event.value == "payload"
+
+
+def test_event_double_trigger_raises():
+    engine = Engine()
+    event = engine.event()
+    event.trigger(1)
+    with pytest.raises(SimulationError):
+        event.trigger(2)
+
+
+def test_wait_on_already_triggered_event_returns_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.trigger(42)
+
+    def proc():
+        value = yield Wait(event)
+        return value
+
+    process = engine.spawn(proc())
+    engine.run()
+    assert process.result == 42
+
+
+def test_event_callback_runs_on_trigger_and_immediately_if_late():
+    engine = Engine()
+    event = engine.event()
+    seen = []
+    event.add_callback(seen.append)
+    event.trigger("early")
+    event.add_callback(seen.append)
+    assert seen == ["early", "early"]
+
+
+def test_fork_and_join():
+    engine = Engine()
+
+    def child(n):
+        yield Delay(n)
+        return n * 2
+
+    def parent():
+        first = yield Fork(child(5), "c5")
+        second = yield Fork(child(3), "c3")
+        a = yield Join(first)
+        b = yield Join(second)
+        return a + b
+
+    process = engine.spawn(parent())
+    engine.run()
+    assert process.result == 16
+    assert engine.now == 5
+
+
+def test_join_on_finished_process_returns_result():
+    engine = Engine()
+
+    def quick():
+        yield Delay(1)
+        return "done"
+
+    def parent(child_proc):
+        yield Delay(10)
+        result = yield Join(child_proc)
+        return result
+
+    child_process = engine.spawn(quick())
+    parent_process = engine.spawn(parent(child_process))
+    engine.run()
+    assert parent_process.result == "done"
+
+
+def test_yield_from_composes_subgenerators():
+    engine = Engine()
+
+    def sub(n):
+        yield Delay(n)
+        return n + 1
+
+    def main():
+        a = yield from sub(3)
+        b = yield from sub(4)
+        return a + b
+
+    process = engine.spawn(main())
+    engine.run()
+    assert process.result == 9
+    assert engine.now == 7
+
+
+def test_yielding_non_command_raises():
+    engine = Engine()
+
+    def bad():
+        yield 42
+
+    engine.spawn(bad())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_deadlock_detection_reports_blocked_process():
+    engine = Engine()
+    event = engine.event("never")
+
+    def stuck():
+        yield Wait(event)
+
+    engine.spawn(stuck(), name="stuck_process")
+    with pytest.raises(DeadlockError) as excinfo:
+        engine.run()
+    assert "stuck_process" in str(excinfo.value)
+
+
+def test_daemon_processes_do_not_count_as_deadlock():
+    engine = Engine()
+    queue = DecoupledQueue(engine, 4)
+
+    def daemon():
+        while True:
+            yield Get(queue)
+
+    def worker():
+        yield Delay(3)
+        return "ok"
+
+    engine.spawn(daemon(), name="hw", daemon=True)
+    process = engine.spawn(worker())
+    engine.run()
+    assert process.result == "ok"
+
+
+def test_run_until_complete_stops_at_watched_processes():
+    engine = Engine()
+    queue = DecoupledQueue(engine, 4)
+
+    def daemon():
+        while True:
+            yield Get(queue)
+            yield Delay(1)
+
+    def worker():
+        yield Put(queue, 1)
+        yield Delay(5)
+        return "finished"
+
+    engine.spawn(daemon(), name="daemon", daemon=True)
+    worker_process = engine.spawn(worker())
+    elapsed = engine.run_until_complete([worker_process])
+    assert worker_process.finished
+    assert elapsed == 5
+
+
+def test_run_until_complete_detects_deadlock_of_watched():
+    engine = Engine()
+    event = engine.event("never")
+
+    def stuck():
+        yield Wait(event)
+
+    process = engine.spawn(stuck(), name="stuck")
+    with pytest.raises(DeadlockError):
+        engine.run_until_complete([process])
+
+
+def test_max_cycles_guard():
+    engine = Engine(max_cycles=100)
+
+    def runaway():
+        while True:
+            yield Delay(10)
+
+    engine.spawn(runaway())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_run_until_horizon_pauses_and_resumes():
+    engine = Engine()
+
+    def proc():
+        yield Delay(50)
+        return "late"
+
+    process = engine.spawn(proc())
+    engine.run(until=10)
+    assert not process.finished
+    assert engine.now == 10
+    engine.run()
+    assert process.finished
+
+
+def test_schedule_callback_runs_at_requested_time():
+    engine = Engine()
+    fired = []
+    engine.schedule_callback(25, lambda: fired.append(engine.now))
+
+    def proc():
+        yield Delay(100)
+
+    engine.spawn(proc())
+    engine.run()
+    assert fired == [25]
+
+
+def test_completion_event_carries_return_value():
+    engine = Engine()
+
+    def proc():
+        yield Delay(2)
+        return {"answer": 42}
+
+    process = engine.spawn(proc())
+    engine.run()
+    assert process.completion.triggered
+    assert process.completion.value == {"answer": 42}
+
+
+def test_engine_rejects_bad_max_cycles():
+    with pytest.raises(SimulationError):
+        Engine(max_cycles=0)
+
+
+def test_trace_log_records_when_enabled():
+    engine = Engine(trace=True)
+
+    def proc():
+        yield Delay(1)
+
+    engine.spawn(proc(), name="traced")
+    engine.run()
+    assert any("traced" in line for line in engine.trace_log)

@@ -1,0 +1,161 @@
+"""Unit tests for the instruction-level helpers and the Nanos machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.cpu.soc import SoC
+from repro.runtime.hw_interface import (
+    FetchedTask,
+    fetch_ready_task,
+    request_ready_task,
+    retire_task_hw,
+    submit_task_hw,
+)
+from repro.runtime.nanos_machinery import NanosMachinery
+from repro.runtime.task import Task, out_dep
+from repro.runtime.worker import HwWorkerContext
+from tests.helpers import make_independent_program
+
+
+def run_on_core(soc, core_id, generator):
+    process = soc.spawn_worker(core_id, generator, name="driver")
+    soc.run([process])
+    return process.result
+
+
+class TestHwInterface:
+    def test_submit_then_fetch_then_retire_roundtrip(self):
+        soc = SoC(SimConfig().with_cores(2))
+        task = Task(index=0, payload_cycles=0,
+                    dependences=(out_dep(0x1234_0000),))
+
+        def driver():
+            core = soc.core(0)
+            retries = yield from submit_task_hw(core, task, sw_id=0)
+            assert retries == 0
+            accepted = yield from request_ready_task(core)
+            assert accepted
+            fetched = None
+            while fetched is None:
+                fetched = yield from fetch_ready_task(core)
+            assert isinstance(fetched, FetchedTask)
+            assert fetched.sw_id == 0
+            yield from retire_task_hw(core, fetched.picos_id)
+            return fetched
+
+        fetched = run_on_core(soc, 0, driver())
+        assert fetched.sw_id == 0
+
+        def settle():
+            from repro.sim.engine import Delay
+            yield Delay(2_000)
+
+        run_on_core(soc, 1, settle())
+        assert soc.picos.graph.total_retired == 1
+
+    def test_fetch_on_empty_queue_returns_none(self):
+        soc = SoC(SimConfig().with_cores(1))
+
+        def driver():
+            return (yield from fetch_ready_task(soc.core(0)))
+
+        assert run_on_core(soc, 0, driver()) is None
+
+    def test_worker_context_tracks_outstanding_requests(self):
+        soc = SoC(SimConfig().with_cores(1))
+        done = soc.engine.event("done")
+        context = HwWorkerContext(soc, 0, done)
+
+        def driver():
+            ok = yield from context.ensure_request()
+            assert ok
+            assert context.outstanding_requests == 1
+            # A second call does not issue another request.
+            ok = yield from context.ensure_request()
+            assert ok
+            assert context.outstanding_requests == 1
+            missing = yield from context.try_fetch()
+            assert missing is None
+            assert context.fetch_failures == 1
+
+        run_on_core(soc, 0, driver())
+
+    def test_acquire_task_returns_none_after_done(self):
+        soc = SoC(SimConfig().with_cores(1))
+        done = soc.engine.event("done")
+        done.trigger(None)
+        context = HwWorkerContext(soc, 0, done)
+
+        def driver():
+            return (yield from context.acquire_task())
+
+        assert run_on_core(soc, 0, driver()) is None
+
+
+class TestNanosMachinery:
+    def _build(self, software_graph):
+        config = SimConfig().with_cores(2)
+        soc = SoC(config, with_picos=False)
+        program = make_independent_program(num_tasks=4, payload=10)
+        machinery = NanosMachinery(soc, program, config.costs.nanos,
+                                   software_graph=software_graph)
+        return soc, program, machinery
+
+    def test_submission_charges_substantial_cycles(self):
+        soc, program, machinery = self._build(software_graph=False)
+
+        def driver():
+            yield from machinery.charge_submission(soc.core(0),
+                                                   program.tasks[0])
+
+        run_on_core(soc, 0, driver())
+        # The Nanos submission path costs thousands of cycles (Figure 7).
+        assert soc.now > 3_000
+        assert machinery.stats.counter("submissions") == 1
+
+    def test_software_graph_round_trip(self):
+        soc, program, machinery = self._build(software_graph=True)
+        outcomes = []
+
+        def driver():
+            core = soc.core(0)
+            for task in program.tasks:
+                ready = yield from machinery.software_submit(core, task)
+                outcomes.append(ready)
+            popped = []
+            while True:
+                index = yield from machinery.pop_ready(core)
+                if index is None:
+                    break
+                popped.append(index)
+                yield from machinery.software_retire(core, index)
+            return popped
+
+        popped = run_on_core(soc, 0, driver())
+        assert outcomes == [True] * 4      # independent tasks: all ready
+        assert sorted(popped) == [0, 1, 2, 3]
+        assert machinery.sw_graph.in_flight == 0
+
+    def test_software_methods_rejected_on_hardware_machinery(self):
+        soc, program, machinery = self._build(software_graph=False)
+        from repro.common.errors import RuntimeModelError
+
+        def driver():
+            with pytest.raises(RuntimeModelError):
+                yield from machinery.software_submit(soc.core(0),
+                                                     program.tasks[0])
+
+        run_on_core(soc, 0, driver())
+
+    def test_idle_check_occasionally_pays_a_syscall(self):
+        soc, program, machinery = self._build(software_graph=False)
+        core = soc.core(0)
+
+        def driver():
+            for _ in range(machinery.costs.idle_checks_per_syscall):
+                yield from machinery.charge_idle_check(core)
+
+        run_on_core(soc, 0, driver())
+        assert core.stats.counter("syscalls") == 1

@@ -1,0 +1,142 @@
+"""End-to-end integration tests across applications, runtimes and harness.
+
+These tests exercise the whole stack the way the benchmark harness does, but
+on small instances: every runtime must execute the real numpy kernels of the
+applications in an order consistent with the annotated dependences (so the
+numerical results equal the serial reference), and the relative-performance
+structure the paper reports must be visible even at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.blackscholes import (
+    BlackscholesData,
+    blackscholes_program,
+    blackscholes_reference,
+)
+from repro.apps.jacobi import jacobi_program, jacobi_reference
+from repro.apps.stream import stream_program, stream_reference
+from repro.common.config import SimConfig
+from repro.runtime import (
+    NanosRVRuntime,
+    NanosSWRuntime,
+    PhentosRuntime,
+    SerialRuntime,
+)
+
+RUNTIME_CLASSES = [SerialRuntime, NanosSWRuntime, NanosRVRuntime,
+                   PhentosRuntime]
+
+
+@pytest.fixture
+def config():
+    return SimConfig(max_cycles=500_000_000).with_cores(4)
+
+
+@pytest.mark.parametrize("runtime_cls", RUNTIME_CLASSES)
+class TestKernelCorrectnessAcrossRuntimes:
+    """Any dependence-respecting schedule must give the serial answer."""
+
+    def test_blackscholes_prices_match_reference(self, runtime_cls, config):
+        data = BlackscholesData(128)
+        expected = blackscholes_reference(BlackscholesData(128))
+        program = blackscholes_program("128", block_size=16,
+                                       with_kernels=True, data=data)
+        runtime_cls(config).run(program, num_workers=4)
+        np.testing.assert_allclose(data.prices, expected, rtol=1e-10)
+
+    def test_jacobi_iterates_match_reference(self, runtime_cls, config):
+        iterations = 3
+        program = jacobi_program(grid_blocks=4, block_factor=1,
+                                 iterations=iterations, with_kernels=True)
+        state = program.parameters["state"]
+        expected = jacobi_reference(state["buffers"][0].copy(),
+                                    state["source"].copy(), iterations)
+        runtime_cls(config).run(program, num_workers=4)
+        result = state["buffers"][program.parameters["result_buffer"]]
+        np.testing.assert_allclose(result[1:-1], expected[1:-1], rtol=1e-10)
+
+    def test_stream_deps_matches_reference(self, runtime_cls, config):
+        iterations = 2
+        program = stream_program(4, 32, iterations=iterations,
+                                 use_dependences=True, with_kernels=True)
+        state = program.parameters["state"]
+        expected = stream_reference(state["a"], state["b"], state["c"],
+                                    iterations)
+        runtime_cls(config).run(program, num_workers=4)
+        for name, reference in zip(("a", "b", "c"), expected):
+            np.testing.assert_allclose(state[name], reference, rtol=1e-12)
+
+
+class TestCrossRuntimeStructure:
+    """Small-scale version of the paper's performance structure."""
+
+    @pytest.fixture(scope="class")
+    def blackscholes_results(self):
+        config = SimConfig(max_cycles=500_000_000).with_cores(4)
+        program = blackscholes_program("1024", block_size=16)
+        results = {}
+        for cls in RUNTIME_CLASSES:
+            runtime = cls(config)
+            results[cls.name] = runtime.run(
+                program, num_workers=1 if cls is SerialRuntime else 4
+            )
+        return results
+
+    def test_ranking_matches_paper(self, blackscholes_results):
+        results = blackscholes_results
+        assert results["phentos"].elapsed_cycles \
+            < results["nanos-rv"].elapsed_cycles \
+            < results["nanos-sw"].elapsed_cycles
+
+    def test_phentos_beats_serial_at_fine_granularity(self,
+                                                      blackscholes_results):
+        results = blackscholes_results
+        assert results["phentos"].elapsed_cycles \
+            < results["serial"].elapsed_cycles
+
+    def test_every_runtime_reports_full_stats(self, blackscholes_results):
+        for name, result in blackscholes_results.items():
+            assert result.tasks_executed == 64
+            assert result.stats, f"{name} produced no statistics"
+            assert result.busy_cycles > 0
+
+    def test_hw_runtimes_touch_picos(self, blackscholes_results):
+        for name in ("nanos-rv", "phentos"):
+            stats = blackscholes_results[name].stats
+            assert stats.get("picos.tasks_accepted") == 64
+            assert stats.get("picos.tasks_retired") == 64
+
+    def test_nanos_sw_never_touches_picos(self, blackscholes_results):
+        stats = blackscholes_results["nanos-sw"].stats
+        assert not any(key.startswith("picos.") for key in stats)
+
+
+class TestScalingWithCores:
+    def test_phentos_scales_with_core_count(self):
+        program = blackscholes_program("2048", block_size=32)
+        elapsed = {}
+        for cores in (1, 2, 4, 8):
+            config = SimConfig(max_cycles=500_000_000).with_cores(cores)
+            result = PhentosRuntime(config).run(program, num_workers=cores)
+            elapsed[cores] = result.elapsed_cycles
+        assert elapsed[2] < elapsed[1]
+        assert elapsed[4] < elapsed[2]
+        assert elapsed[8] < elapsed[4]
+        # Speedup from 1 to 8 workers is substantial but below linear
+        # (memory-path contention), as in the paper.
+        ratio = elapsed[1] / elapsed[8]
+        assert 3.0 < ratio <= 8.0
+
+    def test_nanos_sw_does_not_scale_for_fine_tasks(self):
+        program = blackscholes_program("512", block_size=8, )
+        config1 = SimConfig(max_cycles=500_000_000).with_cores(1)
+        config8 = SimConfig(max_cycles=500_000_000).with_cores(8)
+        one = NanosSWRuntime(config1).run(program, num_workers=1)
+        eight = NanosSWRuntime(config8).run(program, num_workers=8)
+        # Adding cores barely helps when the software runtime is the
+        # bottleneck (scheduling throughput, not compute, limits progress).
+        assert eight.elapsed_cycles > one.elapsed_cycles / 2

@@ -1,0 +1,214 @@
+"""Tests for Picos Manager: submission handling, work fetch, retirement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import PicosCosts
+from repro.common.errors import ProtocolError
+from repro.manager.manager import ManagerError, PicosManager
+from repro.manager.submission import PendingSubmission
+from repro.picos.device import PicosDevice
+from repro.picos.packets import (
+    Direction,
+    TaskDependence,
+    TaskDescriptor,
+    encode_nonzero_packets,
+)
+from repro.sim.engine import Delay, Engine
+
+
+def build(num_cores=2, **cost_overrides):
+    engine = Engine()
+    costs = PicosCosts(**cost_overrides) if cost_overrides else PicosCosts()
+    device = PicosDevice(engine, costs)
+    manager = PicosManager(engine, device, num_cores, costs)
+    return engine, device, manager
+
+
+def feed_descriptor(manager, core_id, descriptor):
+    """Announce and buffer one descriptor's non-zero packets from a core."""
+    packets = encode_nonzero_packets(descriptor)
+    assert manager.announce_submission(core_id, len(packets))
+    for offset in range(0, len(packets), 3):
+        assert manager.submit_packets(core_id, packets[offset:offset + 3])
+    return packets
+
+
+def run_for(engine, cycles):
+    def idler():
+        yield Delay(cycles)
+
+    process = engine.spawn(idler(), name="idler")
+    engine.run_until_complete([process])
+
+
+def drain_core_ready(manager, core_id):
+    entries = []
+    queue = manager.core_ready_queue(core_id)
+    while queue.valid:
+        entries.append(queue.try_get())
+    return entries
+
+
+class TestSubmissionHandler:
+    def test_zero_padding_completes_48_packets(self):
+        engine, device, manager = build()
+        descriptor = TaskDescriptor(
+            sw_id=5, dependences=(TaskDependence(0x100, Direction.OUT),)
+        )
+        feed_descriptor(manager, 0, descriptor)
+        run_for(engine, 3_000)
+        handler = manager.submission_handler
+        assert handler.stats.counter("descriptors_forwarded") == 1
+        assert handler.stats.counter("zero_packets_padded") == 48 - 6
+        assert device.stats.counter("submission_packets") == 48
+        assert device.graph.total_submitted == 1
+
+    def test_submissions_from_different_cores_do_not_interleave(self):
+        engine, device, manager = build()
+        first = TaskDescriptor(sw_id=1,
+                               dependences=(TaskDependence(0x100, Direction.OUT),))
+        second = TaskDescriptor(sw_id=2,
+                                dependences=(TaskDependence(0x200, Direction.OUT),))
+        feed_descriptor(manager, 0, first)
+        feed_descriptor(manager, 1, second)
+        run_for(engine, 6_000)
+        # Both descriptors decoded correctly means no packet interleaving.
+        assert device.graph.total_submitted == 2
+        assert sorted(device._sw_ids.values()) == [1, 2]
+        assert manager.submission_handler.arbiter.sequences_completed == 2
+
+    def test_announcement_validation(self):
+        with pytest.raises(ProtocolError):
+            PendingSubmission(core_id=0, nonzero_packets=2)
+        with pytest.raises(ProtocolError):
+            PendingSubmission(core_id=0, nonzero_packets=49)
+        with pytest.raises(ProtocolError):
+            PendingSubmission(core_id=0, nonzero_packets=7)
+
+    def test_announce_overflow_reports_failure_and_error_flag(self):
+        engine, device, manager = build()
+        # The per-core announcement queue holds two outstanding requests.
+        assert manager.announce_submission(0, 3)
+        assert manager.announce_submission(0, 3)
+        assert not manager.announce_submission(0, 3)
+        assert ManagerError.SUBMISSION_OVERFLOW in manager.error_register
+        manager.clear_errors()
+        assert manager.error_register is ManagerError.NONE
+
+    def test_packet_buffer_overflow_is_non_blocking(self):
+        engine, device, manager = build()
+        manager.announce_submission(0, 48)
+        accepted = 0
+        while manager.submit_packet(0, 0xAB):
+            accepted += 1
+            assert accepted < 1000
+        assert accepted >= 3
+        assert ManagerError.SUBMISSION_OVERFLOW in manager.error_register
+
+    def test_submit_three_packets_is_all_or_nothing(self):
+        engine, device, manager = build()
+        manager.announce_submission(0, 48)
+        buffer = manager.submission_handler._buffers[0]
+        while buffer.capacity - len(buffer) >= 3:
+            assert manager.submit_packets(0, (1, 2, 3))
+        before = len(buffer)
+        assert not manager.submit_packets(0, (4, 5, 6))
+        assert len(buffer) == before
+
+    def test_core_bounds_checked(self):
+        engine, device, manager = build(num_cores=2)
+        with pytest.raises(ProtocolError):
+            manager.submit_packet(5, 0)
+        with pytest.raises(ProtocolError):
+            manager.retirement_queue(7)
+
+
+class TestWorkFetchPath:
+    def _submit_ready_task(self, engine, manager, sw_id=11):
+        descriptor = TaskDescriptor(
+            sw_id=sw_id, dependences=(TaskDependence(0x100 + sw_id * 64,
+                                                     Direction.OUT),)
+        )
+        feed_descriptor(manager, 0, descriptor)
+        run_for(engine, 3_000)
+
+    def test_ready_task_routed_to_requesting_core(self):
+        engine, device, manager = build()
+        self._submit_ready_task(engine, manager)
+        assert manager.request_ready_task(1)
+        run_for(engine, 1_000)
+        entries = drain_core_ready(manager, 1)
+        assert len(entries) == 1
+        assert entries[0].sw_id == 11
+        assert drain_core_ready(manager, 0) == []
+
+    def test_requests_served_in_chronological_order(self):
+        engine, device, manager = build()
+        # Requests arrive before any ready task exists.
+        assert manager.request_ready_task(1)
+        assert manager.request_ready_task(0)
+        self._submit_ready_task(engine, manager, sw_id=21)
+        self._submit_ready_task(engine, manager, sw_id=22)
+        run_for(engine, 3_000)
+        first = drain_core_ready(manager, 1)
+        second = drain_core_ready(manager, 0)
+        assert [e.sw_id for e in first] == [21]
+        assert [e.sw_id for e in second] == [22]
+
+    def test_packet_encoder_counts_entries(self):
+        engine, device, manager = build()
+        self._submit_ready_task(engine, manager)
+        run_for(engine, 1_000)
+        assert manager.work_fetch.encoder.stats.counter(
+            "ready_entries_encoded") == 1
+
+    def test_notify_task_started_marks_graph(self):
+        engine, device, manager = build()
+        self._submit_ready_task(engine, manager)
+        manager.request_ready_task(0)
+        run_for(engine, 1_000)
+        entry = drain_core_ready(manager, 0)[0]
+        manager.notify_task_started(entry.picos_id)
+        from repro.picos.dependence import TaskState
+        assert device.graph.task(entry.picos_id).state is TaskState.RUNNING
+
+    def test_routing_queue_overflow_returns_failure(self):
+        engine, device, manager = build()
+        accepted = 0
+        while manager.request_ready_task(0):
+            accepted += 1
+            assert accepted < 1000
+        assert ManagerError.READY_OVERFLOW in manager.error_register
+
+
+class TestRetirementPath:
+    def test_retirements_reach_picos_via_round_robin(self):
+        engine, device, manager = build()
+        descriptor = TaskDescriptor(
+            sw_id=1, dependences=(TaskDependence(0x900, Direction.INOUT),)
+        )
+        dependent = TaskDescriptor(
+            sw_id=2, dependences=(TaskDependence(0x900, Direction.INOUT),)
+        )
+        feed_descriptor(manager, 0, descriptor)
+        feed_descriptor(manager, 0, dependent)
+        run_for(engine, 6_000)
+        manager.request_ready_task(0)
+        run_for(engine, 1_000)
+        entry = drain_core_ready(manager, 0)[0]
+        manager.notify_task_started(entry.picos_id)
+        assert manager.retirement_queue(0).try_put(entry.picos_id)
+        run_for(engine, 2_000)
+        assert device.graph.total_retired == 1
+        # The dependent task became ready and can now be fetched.
+        manager.request_ready_task(1)
+        run_for(engine, 1_000)
+        assert [e.sw_id for e in drain_core_ready(manager, 1)] == [2]
+
+    def test_manager_requires_positive_core_count(self):
+        engine = Engine()
+        device = PicosDevice(engine, PicosCosts())
+        with pytest.raises(ProtocolError):
+            PicosManager(engine, device, 0, PicosCosts())

@@ -1,0 +1,102 @@
+"""Tests for the RoCC instruction format and the task-scheduling ISA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.cpu.rocc import (
+    CUSTOM0,
+    CUSTOM1,
+    FAILURE_FLAG,
+    RoccCommand,
+    RoccInstruction,
+    RoccResponse,
+    TaskSchedulingFunct,
+)
+
+
+class TestInstructionEncoding:
+    def test_figure1_field_layout(self):
+        """The bit positions must follow Figure 1 of the paper."""
+        instruction = RoccInstruction(
+            funct7=0x7F, rs2=0x1F, rs1=0x1F, xd=True, xs1=True, xs2=True,
+            rd=0x1F, opcode=CUSTOM0,
+        )
+        word = instruction.encode()
+        assert word & 0x7F == CUSTOM0
+        assert (word >> 7) & 0x1F == 0x1F          # rd
+        assert (word >> 12) & 0x1 == 1             # xs2
+        assert (word >> 13) & 0x1 == 1             # xs1
+        assert (word >> 14) & 0x1 == 1             # xd
+        assert (word >> 15) & 0x1F == 0x1F         # rs1
+        assert (word >> 20) & 0x1F == 0x1F         # rs2
+        assert (word >> 25) & 0x7F == 0x7F         # funct7
+
+    def test_encode_decode_roundtrip(self):
+        original = RoccInstruction(funct7=0x12, rs2=3, rs1=7, xd=True,
+                                   xs1=True, xs2=False, rd=11, opcode=CUSTOM1)
+        assert RoccInstruction.decode(original.encode()) == original
+
+    def test_decode_rejects_non_custom_opcode(self):
+        # 0b0110011 is the standard OP opcode, not a RoCC custom opcode.
+        with pytest.raises(ProtocolError):
+            RoccInstruction.decode(0b0110011)
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(ProtocolError):
+            RoccInstruction(funct7=128, rs2=0, rs1=0, xd=False, xs1=False,
+                            xs2=False, rd=0)
+        with pytest.raises(ProtocolError):
+            RoccInstruction(funct7=0, rs2=32, rs1=0, xd=False, xs1=False,
+                            xs2=False, rd=0)
+        with pytest.raises(ProtocolError):
+            RoccInstruction(funct7=0, rs2=0, rs1=0, xd=False, xs1=False,
+                            xs2=False, rd=0, opcode=0b0000011)
+
+    def test_for_funct_sets_operand_flags(self):
+        submit3 = RoccInstruction.for_funct(
+            TaskSchedulingFunct.SUBMIT_THREE_PACKETS)
+        assert submit3.xs1 and submit3.xs2 and submit3.xd
+        fetch = RoccInstruction.for_funct(TaskSchedulingFunct.FETCH_SW_ID)
+        assert not fetch.xs1 and not fetch.xs2 and fetch.xd
+        retire = RoccInstruction.for_funct(TaskSchedulingFunct.RETIRE_TASK)
+        assert retire.xs1 and not retire.xs2 and not retire.xd
+
+
+class TestTaskSchedulingFunct:
+    def test_table1_lists_exactly_seven_instructions(self):
+        assert len(TaskSchedulingFunct) == 7
+        names = {funct.name for funct in TaskSchedulingFunct}
+        assert names == {
+            "SUBMISSION_REQUEST", "SUBMIT_PACKET", "SUBMIT_THREE_PACKETS",
+            "READY_TASK_REQUEST", "FETCH_SW_ID", "FETCH_PICOS_ID",
+            "RETIRE_TASK",
+        }
+
+    def test_only_retire_task_is_blocking(self):
+        blocking = [f for f in TaskSchedulingFunct if f.is_blocking]
+        assert blocking == [TaskSchedulingFunct.RETIRE_TASK]
+
+    def test_operand_usage(self):
+        assert TaskSchedulingFunct.SUBMIT_THREE_PACKETS.uses_rs2
+        assert not TaskSchedulingFunct.SUBMIT_PACKET.uses_rs2
+        assert not TaskSchedulingFunct.RETIRE_TASK.uses_rd
+        assert TaskSchedulingFunct.READY_TASK_REQUEST.uses_rd
+        assert not TaskSchedulingFunct.READY_TASK_REQUEST.uses_rs1
+
+
+class TestCommandsAndResponses:
+    def test_command_validates_64bit_operands(self):
+        RoccCommand(TaskSchedulingFunct.SUBMIT_PACKET, rs1_value=(1 << 64) - 1)
+        with pytest.raises(ProtocolError):
+            RoccCommand(TaskSchedulingFunct.SUBMIT_PACKET, rs1_value=1 << 64)
+        with pytest.raises(ProtocolError):
+            RoccCommand(TaskSchedulingFunct.SUBMIT_PACKET, rs2_value=-1)
+
+    def test_failure_response_uses_flag_value(self):
+        failure = RoccResponse.failure()
+        assert failure.failed
+        assert failure.value == FAILURE_FLAG
+        success = RoccResponse(value=7)
+        assert success.success and not success.failed

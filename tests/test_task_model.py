@@ -1,0 +1,136 @@
+"""Tests for the application-facing task model (Task, TaskProgram)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.picos.packets import Direction
+from repro.runtime.task import (
+    Task,
+    TaskProgram,
+    dependence,
+    in_dep,
+    inout_dep,
+    out_dep,
+)
+
+A, B, C = 0x1000, 0x2000, 0x3000
+
+
+class TestTask:
+    def test_dependence_helpers(self):
+        assert in_dep(A).direction is Direction.IN
+        assert out_dep(A).direction is Direction.OUT
+        assert inout_dep(A).direction is Direction.INOUT
+        assert dependence(A, Direction.IN) == in_dep(A)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Task(index=-1, payload_cycles=0)
+        with pytest.raises(WorkloadError):
+            Task(index=0, payload_cycles=-1)
+        with pytest.raises(WorkloadError):
+            Task(index=0, payload_cycles=0,
+                 dependences=tuple(out_dep(64 * i) for i in range(16)))
+
+    def test_kernel_invocation(self):
+        seen = []
+        task = Task(index=0, payload_cycles=10, kernel=lambda: seen.append(1))
+        task.run_kernel()
+        assert seen == [1]
+        Task(index=1, payload_cycles=10).run_kernel()  # no kernel: no-op
+
+
+class TestTaskProgramValidation:
+    def test_indices_must_match_positions(self):
+        with pytest.raises(WorkloadError):
+            TaskProgram(name="bad", tasks=[Task(index=1, payload_cycles=1)])
+
+    def test_taskwait_indices_checked(self):
+        with pytest.raises(WorkloadError):
+            TaskProgram(name="bad",
+                        tasks=[Task(index=0, payload_cycles=1)],
+                        taskwait_after={5})
+
+    def test_name_required(self):
+        with pytest.raises(WorkloadError):
+            TaskProgram(name="", tasks=[])
+
+    def test_negative_serial_sections_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskProgram(name="p", tasks=[], serial_sections_cycles=-1)
+
+
+class TestTaskProgramMetrics:
+    def make_program(self):
+        tasks = [
+            Task(index=0, payload_cycles=100, dependences=(out_dep(A),)),
+            Task(index=1, payload_cycles=200,
+                 dependences=(in_dep(A), out_dep(B))),
+            Task(index=2, payload_cycles=300,
+                 dependences=(in_dep(A), out_dep(C))),
+            Task(index=3, payload_cycles=100,
+                 dependences=(in_dep(B), in_dep(C))),
+        ]
+        return TaskProgram(name="diamond", tasks=tasks,
+                           serial_sections_cycles=50)
+
+    def test_totals_and_means(self):
+        program = self.make_program()
+        assert program.num_tasks == 4
+        assert program.total_payload_cycles == 700
+        assert program.serial_cycles == 750
+        assert program.mean_task_cycles == pytest.approx(175.0)
+        assert program.max_dependences == 2
+
+    def test_critical_path_of_diamond(self):
+        program = self.make_program()
+        # 100 (producer) + 300 (slow branch) + 100 (join) + 50 serial = 550.
+        assert program.critical_path_cycles() == 550
+
+    def test_ideal_speedup_bounded_by_dag_and_cores(self):
+        program = self.make_program()
+        ideal = program.ideal_speedup(8)
+        assert ideal == pytest.approx(750 / 550)
+        wide = TaskProgram(
+            name="wide",
+            tasks=[Task(index=i, payload_cycles=100,
+                        dependences=(out_dep(0x9000 + 64 * i),))
+                   for i in range(64)],
+        )
+        assert wide.ideal_speedup(8) == pytest.approx(8.0)
+
+    def test_phases_split_at_taskwaits(self):
+        tasks = [Task(index=i, payload_cycles=10) for i in range(6)]
+        program = TaskProgram(name="phased", tasks=tasks,
+                              taskwait_after={1, 3})
+        phases = program.phases()
+        assert [len(phase) for phase in phases] == [2, 2, 2]
+
+    def test_critical_path_respects_taskwait_barriers(self):
+        # Two independent tasks separated by a taskwait cannot overlap.
+        tasks = [
+            Task(index=0, payload_cycles=100, dependences=(out_dep(A),)),
+            Task(index=1, payload_cycles=100, dependences=(out_dep(B),)),
+        ]
+        with_barrier = TaskProgram(name="barrier", tasks=list(tasks),
+                                   taskwait_after={0})
+        without_barrier = TaskProgram(name="free", tasks=list(tasks))
+        assert with_barrier.critical_path_cycles() == 200
+        assert without_barrier.critical_path_cycles() == 100
+
+    def test_empty_program_metrics(self):
+        program = TaskProgram(name="empty", tasks=[])
+        assert program.mean_task_cycles == 0.0
+        assert program.critical_path_cycles() == 0
+        assert program.ideal_speedup(8) == 1.0
+
+    def test_chain_critical_path_equals_serial(self):
+        tasks = [
+            Task(index=i, payload_cycles=50, dependences=(inout_dep(A),))
+            for i in range(10)
+        ]
+        program = TaskProgram(name="chain", tasks=tasks)
+        assert program.critical_path_cycles() == 500
+        assert program.ideal_speedup(8) == pytest.approx(1.0)
