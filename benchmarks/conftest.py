@@ -3,12 +3,18 @@
 Every benchmark regenerates one table or figure of the paper's evaluation
 section and prints the corresponding rows/series.  The Figure 8, 9, 10 and
 headline benchmarks all consume the same 37-input sweep, which is expensive,
-so it is computed once per session and cached here.
+so it is computed once per session through the
+:class:`repro.harness.ExperimentEngine` — the same execution path as
+``python -m repro run`` — and optionally fanned out over a process pool
+and/or served from the on-disk result cache.
 
 Environment knobs:
 
-* ``REPRO_QUICK=1``  — run a reduced (but still representative) input set.
-* ``REPRO_WORKERS=N`` — override the number of worker cores (default 8).
+* ``REPRO_QUICK=1``   — run a reduced (but still representative) input set.
+* ``REPRO_WORKERS=N`` — override the number of simulated cores (default 8).
+* ``REPRO_JOBS=N``    — fan the sweep out over N host processes (default 1).
+* ``REPRO_CACHE_DIR`` — serve repeated sweeps from this result cache
+  (default: no caching, so benchmark numbers are always freshly measured).
 
 Rendered tables are also written to ``benchmarks/results/`` so the numbers
 can be archived next to ``EXPERIMENTS.md``.
@@ -22,7 +28,7 @@ from pathlib import Path
 import pytest
 
 from repro.common.config import SimConfig
-from repro.eval import figure9_benchmarks
+from repro.harness import ExperimentEngine
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,8 +39,19 @@ def quick_mode() -> bool:
 
 
 def worker_count() -> int:
-    """Worker cores used by the sweep (the paper uses eight)."""
+    """Simulated worker cores used by the sweep (the paper uses eight)."""
     return int(os.environ.get("REPRO_WORKERS", "8"))
+
+
+def job_count() -> int:
+    """Host processes the sweep fans out over (default: in-process)."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
+def cache_dir():
+    """Result-cache directory, or None when caching is off (the default)."""
+    value = os.environ.get("REPRO_CACHE_DIR", "")
+    return Path(value) if value else None
 
 
 def write_result(name: str, text: str) -> Path:
@@ -52,7 +69,14 @@ def sim_config() -> SimConfig:
 
 
 @pytest.fixture(scope="session")
-def benchmark_sweep(sim_config):
+def harness_engine(sim_config) -> ExperimentEngine:
+    """One engine per session so every benchmark shares its sweep/cache."""
+    return ExperimentEngine(config=sim_config, jobs=job_count(),
+                            cache_dir=cache_dir())
+
+
+@pytest.fixture(scope="session")
+def benchmark_sweep(harness_engine):
     """The Figure 9 sweep shared by the Figure 8/9/10/headline benchmarks."""
-    return figure9_benchmarks(sim_config, quick=quick_mode(),
+    return harness_engine.run("figure9", quick=quick_mode(),
                               num_workers=worker_count())

@@ -60,34 +60,105 @@ from repro.runtime.task import TaskProgram
 __all__ = [
     "BenchmarkCase",
     "BenchmarkRun",
+    "CASE_RUNTIMES",
     "benchmark_cases",
+    "run_benchmark_case",
     "figure6_mtt_bounds",
     "figure7_overhead",
     "figure8_granularity",
     "figure9_benchmarks",
+    "figure10_bound_task_sizes",
     "figure10_bounds_vs_measured",
     "table2_resources",
     "headline_summary",
     "HeadlineSummary",
+    "ExperimentSpec",
+    "EXPERIMENT_SPECS",
     "EXPERIMENTS",
 ]
 
 #: Runtimes compared in Figures 8/9/10, in the paper's plotting order.
 _COMPARED_RUNTIMES = ("nanos-sw", "nanos-rv", "phentos")
 
+#: Runtimes every Figure 9 case runs on (the serial baseline plus the three
+#: compared platforms), keyed by report name.
+CASE_RUNTIMES: Dict[str, Callable] = {
+    "serial": SerialRuntime,
+    "nanos-sw": NanosSWRuntime,
+    "nanos-rv": NanosRVRuntime,
+    "phentos": PhentosRuntime,
+}
+
+
+def _build_blackscholes_case(*, options: int, block_size: int,
+                             portfolio: str) -> TaskProgram:
+    return blackscholes_program(str(options), block_size,
+                                name=f"blackscholes-{portfolio}-B{block_size}")
+
+
+def _build_jacobi_case(*, grid_blocks: int, block_factor: int,
+                       grid_label: int) -> TaskProgram:
+    return jacobi_program(grid_blocks, block_factor,
+                          name=f"jacobi-N{grid_label}-B{block_factor}")
+
+
+def _build_sparselu_case(*, num_blocks: int, block_dim: int, label: str,
+                         multiplier: int) -> TaskProgram:
+    return sparselu_program(num_blocks, block_dim,
+                            name=f"sparselu-{label}-M{multiplier}")
+
+
+def _build_stream_case(*, num_blocks: int, block_elems: int,
+                       use_dependences: bool, variant: str,
+                       label: str) -> TaskProgram:
+    return stream_program(num_blocks, block_elems,
+                          use_dependences=use_dependences,
+                          name=f"{variant}-{label}")
+
+
+#: Named program builders for the benchmark cases.  Cases reference builders
+#: by key (rather than holding a closure) so that they stay picklable — the
+#: parallel harness ships cases to worker processes — and hashable, so the
+#: result cache can fingerprint them deterministically.
+CASE_BUILDERS: Dict[str, Callable[..., TaskProgram]] = {
+    "blackscholes": _build_blackscholes_case,
+    "jacobi": _build_jacobi_case,
+    "sparselu": _build_sparselu_case,
+    "stream": _build_stream_case,
+}
+
 
 @dataclass(frozen=True)
 class BenchmarkCase:
-    """One of the 37 benchmark inputs of Figure 9."""
+    """One of the 37 benchmark inputs of Figure 9.
+
+    A case is a pure-data description: ``builder`` names an entry in
+    :data:`CASE_BUILDERS` and ``params`` holds its keyword arguments as a
+    sorted tuple of pairs.  This keeps cases picklable (for the process-pool
+    harness) and deterministically hashable (for the result cache).
+    """
 
     benchmark: str
     label: str
-    build: Callable[[], TaskProgram]
+    builder: str
+    params: Tuple[Tuple[str, object], ...]
 
     @property
     def key(self) -> str:
         """Stable identifier, e.g. ``blackscholes/4K B8``."""
         return f"{self.benchmark}/{self.label}"
+
+    def build(self) -> TaskProgram:
+        """Construct the case's task program."""
+        try:
+            builder = CASE_BUILDERS[self.builder]
+        except KeyError:
+            raise EvaluationError(f"unknown case builder {self.builder!r}")
+        return builder(**dict(self.params))
+
+
+def _case_params(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
 
 
 @dataclass
@@ -136,36 +207,31 @@ def benchmark_cases(quick: bool = False,
     for portfolio, block in blackscholes_inputs:
         options = max(scaled(blackscholes_sizes[portfolio]), block)
         cases.append(BenchmarkCase(
-            "blackscholes", f"{portfolio} B{block}",
-            lambda n=options, b=block, p=portfolio: blackscholes_program(
-                str(n), b, name=f"blackscholes-{p}-B{b}"
-            ),
+            "blackscholes", f"{portfolio} B{block}", "blackscholes",
+            _case_params(options=options, block_size=block,
+                         portfolio=portfolio),
         ))
     for grid, factor in jacobi_inputs:
         cases.append(BenchmarkCase(
-            "jacobi", f"N{grid} B{factor}",
-            lambda g=grid, f=factor: jacobi_program(
-                scaled(g, f), f, name=f"jacobi-N{g}-B{f}"
-            ),
+            "jacobi", f"N{grid} B{factor}", "jacobi",
+            _case_params(grid_blocks=scaled(grid, factor),
+                         block_factor=factor, grid_label=grid),
         ))
     for label, multiplier in sparselu_inputs:
         blocks, dim = sparselu_parameters(label, multiplier)
         cases.append(BenchmarkCase(
-            "sparselu", f"{label} M{multiplier}",
-            lambda nb=blocks, bd=dim, lbl=label, m=multiplier: sparselu_program(
-                max(scaled(nb), 2), bd, name=f"sparselu-{lbl}-M{m}"
-            ),
+            "sparselu", f"{label} M{multiplier}", "sparselu",
+            _case_params(num_blocks=max(scaled(blocks), 2), block_dim=dim,
+                         label=label, multiplier=multiplier),
         ))
     for variant, use_deps in (("stream-barr", False), ("stream-deps", True)):
         for label in stream_inputs:
             blocks, elems = stream_parameters(label)
             cases.append(BenchmarkCase(
-                variant, label,
-                lambda nb=blocks, ne=elems, deps=use_deps, lbl=label,
-                       var=variant: stream_program(
-                    max(scaled(nb), 2), ne, use_dependences=deps,
-                    name=f"{var}-{lbl}",
-                ),
+                variant, label, "stream",
+                _case_params(num_blocks=max(scaled(blocks), 2),
+                             block_elems=elems, use_dependences=use_deps,
+                             variant=variant, label=label),
             ))
     return cases
 
@@ -173,10 +239,15 @@ def benchmark_cases(quick: bool = False,
 # --------------------------------------------------------------------- #
 # Figure 6
 # --------------------------------------------------------------------- #
+#: Default micro-benchmark length of the Figure 6 bound measurement (also
+#: used for Figure 10's bound curves); the harness engine reads it too.
+FIGURE6_DEFAULT_NUM_TASKS = 120
+
+
 def figure6_mtt_bounds(
     config: Optional[SimConfig] = None,
     task_sizes: Optional[Sequence[float]] = None,
-    num_tasks: int = 120,
+    num_tasks: int = FIGURE6_DEFAULT_NUM_TASKS,
 ) -> Dict[str, List[MttBound]]:
     """MTT-derived maximum speedup curves for the four platforms (8 cores).
 
@@ -208,6 +279,31 @@ def figure7_overhead(config: Optional[SimConfig] = None,
 # --------------------------------------------------------------------- #
 # Figure 9 (and the raw data behind Figures 8 and 10)
 # --------------------------------------------------------------------- #
+def run_benchmark_case(
+    case: BenchmarkCase,
+    config: Optional[SimConfig] = None,
+    num_workers: Optional[int] = None,
+) -> BenchmarkRun:
+    """Execute one benchmark input on every :data:`CASE_RUNTIMES` runtime.
+
+    This is the case-level execution hook shared by the serial
+    :func:`figure9_benchmarks` loop and the parallel harness
+    (:mod:`repro.harness.runner`): a case is self-contained, so executing it
+    in a worker process yields results identical to the in-process loop.
+    """
+    config = config if config is not None else SimConfig()
+    workers = num_workers if num_workers is not None else \
+        config.machine.num_cores
+    program = case.build()
+    run = BenchmarkRun(case=case, mean_task_cycles=program.mean_task_cycles)
+    for name, runtime_cls in CASE_RUNTIMES.items():
+        runtime = runtime_cls(config)
+        run.results[name] = runtime.run(
+            program, num_workers=1 if name == "serial" else workers
+        )
+    return run
+
+
 def figure9_benchmarks(
     config: Optional[SimConfig] = None,
     quick: bool = False,
@@ -220,22 +316,7 @@ def figure9_benchmarks(
     workers = num_workers if num_workers is not None else \
         config.machine.num_cores
     selected = list(cases) if cases is not None else benchmark_cases(quick, scale)
-    runtimes = {
-        "serial": SerialRuntime(config),
-        "nanos-sw": NanosSWRuntime(config),
-        "nanos-rv": NanosRVRuntime(config),
-        "phentos": PhentosRuntime(config),
-    }
-    runs: List[BenchmarkRun] = []
-    for case in selected:
-        program = case.build()
-        run = BenchmarkRun(case=case, mean_task_cycles=program.mean_task_cycles)
-        for name, runtime in runtimes.items():
-            run.results[name] = runtime.run(
-                program, num_workers=1 if name == "serial" else workers
-            )
-        runs.append(run)
-    return runs
+    return [run_benchmark_case(case, config, workers) for case in selected]
 
 
 # --------------------------------------------------------------------- #
@@ -316,6 +397,15 @@ def _interpolate_bound(bound: Sequence[MttBound], task_size: float) -> float:
     return previous.max_speedup
 
 
+def figure10_bound_task_sizes() -> List[float]:
+    """Task sizes of the default Figure 10 bound curves.
+
+    Shared between the ``bounds=None`` fallback below and the harness
+    engine's cached bound computation, so the two cannot drift apart.
+    """
+    return default_task_sizes(2, 7, 4)
+
+
 def figure10_bounds_vs_measured(
     runs: Sequence[BenchmarkRun],
     config: Optional[SimConfig] = None,
@@ -324,8 +414,8 @@ def figure10_bounds_vs_measured(
     """Overlay the measured speedups on the MTT bounds, per platform."""
     config = config if config is not None else SimConfig()
     if bounds is None:
-        sizes = default_task_sizes(2, 7, 4)
-        bounds = figure6_mtt_bounds(config, task_sizes=sizes)
+        bounds = figure6_mtt_bounds(config,
+                                    task_sizes=figure10_bound_task_sizes())
     comparisons: Dict[str, BoundComparison] = {}
     for platform in _COMPARED_RUNTIMES:
         measured = [
@@ -395,11 +485,69 @@ def headline_summary(runs: Sequence[BenchmarkRun]) -> HeadlineSummary:
     )
 
 
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry describing one experiment of the evaluation.
+
+    ``depends_on`` names the experiments whose results the runner consumes
+    (today always ``figure9``: Figures 8/10 and the headline summary are all
+    derived from the benchmark sweep).  The harness engine uses it to chain
+    derived experiments behind their inputs, serving shared inputs from the
+    result cache instead of re-running them.
+    """
+
+    experiment_id: str
+    title: str
+    runner: Callable
+    depends_on: Tuple[str, ...] = ()
+
+    @property
+    def is_derived(self) -> bool:
+        """True when this experiment is computed from other experiments."""
+        return bool(self.depends_on)
+
+
+#: Full registry of the paper's evaluation artefacts, keyed by experiment
+#: identifier.  (Presentation order is the CLI's concern — see
+#: ``_RUN_ORDER`` in :mod:`repro.harness.cli`.)
+EXPERIMENT_SPECS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in (
+        ExperimentSpec(
+            "figure6", "MTT-derived maximum speedup bounds (8 cores)",
+            figure6_mtt_bounds,
+        ),
+        ExperimentSpec(
+            "figure7", "Lifetime Task Scheduling overhead (cycles per task)",
+            figure7_overhead,
+        ),
+        ExperimentSpec(
+            "figure9", "Benchmark sweep (speedup over serial)",
+            figure9_benchmarks,
+        ),
+        ExperimentSpec(
+            "figure8", "Speedup versus task granularity",
+            figure8_granularity, depends_on=("figure9",),
+        ),
+        ExperimentSpec(
+            "figure10", "Measured speedups versus MTT bounds",
+            figure10_bounds_vs_measured, depends_on=("figure9",),
+        ),
+        ExperimentSpec(
+            "table2", "FPGA resource usage breakdown",
+            table2_resources,
+        ),
+        ExperimentSpec(
+            "headline", "Headline summary (abstract / conclusion numbers)",
+            headline_summary, depends_on=("figure9",),
+        ),
+    )
+}
+
 #: Registry mapping experiment identifiers to their runner functions, used
 #: by the benchmark harness and the ``examples/reproduce_paper.py`` script.
+#: Derived experiments (``figure8``, ``figure10``, ``headline``) take the
+#: Figure 9 runs as their first argument; see :data:`EXPERIMENT_SPECS`.
 EXPERIMENTS: Dict[str, Callable] = {
-    "figure6": figure6_mtt_bounds,
-    "figure7": figure7_overhead,
-    "figure9": figure9_benchmarks,
-    "table2": table2_resources,
+    experiment_id: spec.runner
+    for experiment_id, spec in EXPERIMENT_SPECS.items()
 }

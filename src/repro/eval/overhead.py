@@ -33,6 +33,7 @@ __all__ = [
     "measure_lifetime_overhead",
     "overhead_table",
     "PAPER_FIGURE7_CYCLES",
+    "DEFAULT_NUM_TASKS",
 ]
 
 #: The four workloads of Figure 7: (label, generator, dependence count).
@@ -75,7 +76,7 @@ PAPER_FIGURE7_CYCLES: Dict[str, Dict[str, int]] = {
 
 #: Default task count of an overhead measurement (large enough to amortise
 #: program start-up, small enough to keep wall-clock time reasonable).
-_DEFAULT_TASKS = 150
+DEFAULT_NUM_TASKS = 150
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,7 @@ def measure_lifetime_overhead(
     platform: str,
     workload_kind: str = "task-chain",
     num_dependences: int = 1,
-    num_tasks: int = _DEFAULT_TASKS,
+    num_tasks: int = DEFAULT_NUM_TASKS,
     config: Optional[SimConfig] = None,
 ) -> float:
     """Measure ``Lo`` (cycles per task) of ``platform`` on one workload."""
@@ -125,7 +126,7 @@ def measure_lifetime_overhead(
 
 
 def overhead_table(config: Optional[SimConfig] = None,
-                   num_tasks: int = _DEFAULT_TASKS,
+                   num_tasks: int = DEFAULT_NUM_TASKS,
                    platforms: Optional[Sequence[str]] = None
                    ) -> List[OverheadMeasurement]:
     """Reproduce the full Figure 7 matrix (platforms × workloads)."""

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.eval.experiments import (
     BenchmarkRun,
+    BoundComparison,
     GranularityPoint,
     HeadlineSummary,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "bounds_report",
     "benchmarks_report",
     "granularity_report",
+    "comparisons_report",
     "resources_report",
     "headline_report",
     "rows_to_csv",
@@ -132,6 +134,21 @@ def granularity_report(points: Sequence[GranularityPoint],
     return format_table(
         ["runtime", "input", "task size (cy)", "vs serial", "vs Nanos-SW",
          "vs Nanos-RV"],
+        rows,
+    )
+
+
+def comparisons_report(comparisons: Mapping[str, BoundComparison],
+                       tolerance: float = 1.15) -> str:
+    """Figure 10: best measured speedup per platform versus its MTT bound."""
+    rows = []
+    for platform, comparison in comparisons.items():
+        best = max(speedup for _, speedup in comparison.measured)
+        rows.append([platform, f"{best:.2f}x",
+                     len(comparison.violations(tolerance=tolerance))])
+    return format_table(
+        ["platform", "best measured speedup",
+         "points above the analytic bound"],
         rows,
     )
 

@@ -1,0 +1,53 @@
+"""Experiment harness: parallel execution, result caching, artifacts, CLI.
+
+The harness is the orchestration layer above :mod:`repro.eval`:
+
+* :mod:`repro.harness.hashing` — stable content fingerprints of configs,
+  cases and experiment requests, used as cache keys.
+* :mod:`repro.harness.cache` — a content-addressed on-disk result cache so
+  re-runs and overlapping sweeps are served from disk.
+* :mod:`repro.harness.artifacts` — JSON round-tripping of every result
+  dataclass plus an artifact store for archiving experiment outputs.
+* :mod:`repro.harness.runner` — fans benchmark cases out over a process
+  pool with deterministic, order-independent result assembly.
+* :mod:`repro.harness.engine` — the experiment engine driving the
+  :data:`repro.eval.EXPERIMENTS` registry, chaining derived experiments
+  behind their inputs.
+* :mod:`repro.harness.cli` — the ``python -m repro`` command-line front end.
+
+Typical usage::
+
+    from repro.harness import ExperimentEngine
+
+    engine = ExperimentEngine(jobs=8, cache_dir=".repro_cache")
+    runs = engine.run("figure9", quick=True)
+    summary = engine.run("headline", quick=True)   # served from cache
+"""
+
+from repro.harness.artifacts import ArtifactStore, decode, encode
+from repro.harness.cache import CacheStats, ResultCache
+from repro.harness.engine import ExperimentEngine
+from repro.harness.hashing import (
+    case_cache_key,
+    config_fingerprint,
+    experiment_cache_key,
+    stable_hash,
+)
+from repro.harness.progress import NullProgress, Progress
+from repro.harness.runner import run_cases
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "ExperimentEngine",
+    "NullProgress",
+    "Progress",
+    "ResultCache",
+    "case_cache_key",
+    "config_fingerprint",
+    "decode",
+    "encode",
+    "experiment_cache_key",
+    "run_cases",
+    "stable_hash",
+]

@@ -1,0 +1,137 @@
+"""Content-addressed on-disk result cache.
+
+Entries are JSON documents stored under ``<cache_dir>/<key[:2]>/<key>.json``
+where ``key`` is a :func:`repro.harness.hashing.stable_hash` digest of
+everything that can affect the result.  Because the key is content-derived
+there is no invalidation protocol: changing the configuration, the case
+parameters or the package version simply addresses a different entry.
+
+Writes are atomic (write to a temporary sibling, then :func:`os.replace`) so
+that parallel workers and concurrent harness invocations can share one cache
+directory; unreadable or corrupt entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed JSON result cache rooted at ``cache_dir``."""
+
+    def __init__(self, cache_dir: os.PathLike) -> None:
+        self.root = Path(cache_dir)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """Location of the entry addressed by ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[object]:
+        """The JSON payload stored under ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            payload = document["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: object, **metadata: object) -> Path:
+        """Atomically persist ``payload`` (JSON-serialisable) under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"key": key, "metadata": metadata, "payload": payload}
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=f".{key[:8]}-", suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(document, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (does not touch the stats)."""
+        return self.path_for(key).is_file()
+
+    def demote_hit(self, key: str) -> None:
+        """Re-classify the last hit on ``key`` as a miss and drop the entry.
+
+        Callers use this when an entry parsed as JSON but failed to decode
+        into the expected result type — from the caller's point of view that
+        is a corrupt entry, i.e. a miss, and keeping it on disk would make
+        every future run trip over it again.
+        """
+        self.stats.hits = max(self.stats.hits - 1, 0)
+        self.stats.misses += 1
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

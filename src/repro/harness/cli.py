@@ -1,0 +1,203 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands::
+
+    python -m repro list                      # registry contents
+    python -m repro run figure9 --quick --jobs 8
+    python -m repro run all --cache-dir /tmp/repro-cache
+    python -m repro cache --stats / --clear
+
+``run`` drives the :class:`~repro.harness.engine.ExperimentEngine`, so every
+invocation benefits from the result cache and the process-pool sweep, and
+renders the same rows/series the paper reports.  (The overhead-based bound
+experiments accept tuning knobs — ``--num-tasks`` here, explicit task-size
+grids in ``examples/reproduce_paper.py`` — so absolute bound values may
+differ between entry points when those knobs differ.)
+
+Note the cache is keyed by configuration, case parameters and the package
+*version* — it cannot see source edits.  After changing simulator code
+without bumping ``repro.__version__``, pass ``--no-cache`` or clear the
+cache to avoid being served pre-change results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.config import SimConfig
+from repro.common.errors import ReproError
+from repro.eval.experiments import EXPERIMENT_SPECS
+from repro.eval.reporting import (
+    benchmarks_report,
+    bounds_report,
+    comparisons_report,
+    granularity_report,
+    headline_report,
+    overhead_report,
+    resources_report,
+)
+from repro.harness.artifacts import encode
+from repro.harness.cache import ResultCache
+from repro.harness.engine import ExperimentEngine
+from repro.harness.progress import NullProgress, Progress
+
+__all__ = ["main", "build_parser", "render_report"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Experiment identifiers in presentation order ("all" runs these in order).
+_RUN_ORDER = ("figure7", "figure6", "figure9", "figure8", "figure10",
+              "table2", "headline")
+
+_RENDERERS = {
+    "figure6": bounds_report,
+    "figure7": overhead_report,
+    "figure8": granularity_report,
+    "figure9": benchmarks_report,
+    "figure10": comparisons_report,
+    "table2": resources_report,
+    "headline": headline_report,
+}
+
+
+def render_report(experiment_id: str, result: object) -> str:
+    """Render one experiment result as the paper's text table."""
+    return _RENDERERS[experiment_id](result)
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's evaluation experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run one or more experiments (or 'all')",
+    )
+    run.add_argument("experiments", nargs="+",
+                     help=f"experiment ids ({', '.join(_RUN_ORDER)}) or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="reduced benchmark sweep")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="shrink problem sizes proportionally (default 1.0)")
+    run.add_argument("--jobs", "-j", type=int, default=1,
+                     help="host processes for the sweep (default 1)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="simulated cores per run (default: config)")
+    run.add_argument("--num-tasks", type=int, default=None,
+                     help="micro-benchmark task count for figures 6/7")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help=f"result cache directory (default "
+                          f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache")
+    run.add_argument("--artifact-dir", type=Path, default=None,
+                     help="also archive results as JSON artifacts here")
+    run.add_argument("--format", choices=("text", "json"), default="text",
+                     help="report format (default text)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress progress output")
+
+    sub.add_parser("list", help="list the experiment registry")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("--cache-dir", type=Path, default=None)
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for experiment_id in _RUN_ORDER:
+        spec = EXPERIMENT_SPECS[experiment_id]
+        needs = (f" (derived from {', '.join(spec.depends_on)})"
+                 if spec.depends_on else "")
+        print(f"{experiment_id:<10} {spec.title}{needs}", file=out)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, out) -> int:
+    cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    cache = ResultCache(cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}", file=out)
+        return 0
+    print(f"cache directory: {cache.root}", file=out)
+    print(f"entries: {len(cache)}", file=out)
+    print(f"size: {cache.size_bytes() / 1024:.1f} KiB", file=out)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    selected: List[str] = []
+    for name in args.experiments:
+        if name == "all":
+            selected.extend(_RUN_ORDER)
+        elif name in EXPERIMENT_SPECS:
+            selected.append(name)
+        else:
+            print(f"error: unknown experiment {name!r}; expected one of "
+                  f"{', '.join(_RUN_ORDER)} or 'all'", file=sys.stderr)
+            return 2
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    engine = ExperimentEngine(
+        config=SimConfig(),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        artifact_dir=args.artifact_dir,
+        progress=NullProgress() if args.quiet else Progress(),
+    )
+    json_payload = {}
+    for experiment_id in selected:
+        result = engine.run(
+            experiment_id,
+            quick=args.quick,
+            scale=args.scale,
+            num_workers=args.workers,
+            num_tasks=args.num_tasks,
+        )
+        if args.format == "json":
+            json_payload[experiment_id] = encode(result)
+        else:
+            title = EXPERIMENT_SPECS[experiment_id].title
+            print(f"\n=== {experiment_id}: {title} ===", file=out)
+            print(render_report(experiment_id, result), file=out)
+    if args.format == "json":
+        print(json.dumps(json_payload, indent=2, sort_keys=True), file=out)
+    stats = engine.cache_stats
+    if not args.quiet and stats.lookups:
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
+              f"({stats.hit_rate * 100:.0f}% hit rate)", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(sys.stdout)
+        if args.command == "cache":
+            return _cmd_cache(args, sys.stdout)
+        return _cmd_run(args, sys.stdout)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130

@@ -1,0 +1,91 @@
+"""Stable content fingerprints used as result-cache keys.
+
+A cache key must change whenever anything that can change a result changes:
+the experiment identifier, the full :class:`~repro.common.config.SimConfig`
+(every cycle cost lives there), the case parameters, the worker count and
+the package version.  Keys are SHA-256 digests of a canonical JSON rendering
+(sorted keys, no whitespace), so they are stable across processes, Python
+versions and dict insertion orders — unlike :func:`hash`, which is salted
+per process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Mapping, Optional
+
+import repro
+from repro.common.config import SimConfig
+from repro.common.errors import EvaluationError
+from repro.eval.experiments import BenchmarkCase
+
+__all__ = [
+    "stable_hash",
+    "config_fingerprint",
+    "case_cache_key",
+    "experiment_cache_key",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Canonical JSON form of ``value`` (raises for unsupported types)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {name: _jsonable(item)
+                for name, item in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise EvaluationError(
+        f"cannot fingerprint value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def stable_hash(payload: object) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``payload``."""
+    text = json.dumps(_jsonable(payload), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: SimConfig) -> dict:
+    """Every result-affecting field of ``config`` as a plain dict."""
+    return dataclasses.asdict(config)
+
+
+def case_cache_key(case: BenchmarkCase, config: SimConfig,
+                   num_workers: int,
+                   version: Optional[str] = None) -> str:
+    """Cache key of one benchmark case execution (all runtimes).
+
+    Case-level keys make overlapping sweeps share work: the quick sweep is a
+    subset of the full one, and Figures 8/10 plus the headline summary all
+    reuse the Figure 9 case results.
+    """
+    return stable_hash({
+        "kind": "benchmark-case",
+        "benchmark": case.benchmark,
+        "label": case.label,
+        "builder": case.builder,
+        "params": case.params,
+        "config": config_fingerprint(config),
+        "num_workers": num_workers,
+        "version": version if version is not None else repro.__version__,
+    })
+
+
+def experiment_cache_key(experiment_id: str, config: SimConfig,
+                         parameters: Optional[Mapping[str, object]] = None,
+                         version: Optional[str] = None) -> str:
+    """Cache key of a whole experiment invocation."""
+    return stable_hash({
+        "kind": "experiment",
+        "experiment": experiment_id,
+        "parameters": dict(parameters) if parameters else {},
+        "config": config_fingerprint(config),
+        "version": version if version is not None else repro.__version__,
+    })

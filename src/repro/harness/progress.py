@@ -1,0 +1,63 @@
+"""Progress reporting for long-running sweeps.
+
+The harness reports case-level progress through the tiny observer interface
+below so that the CLI can print live status lines while library callers
+(tests, the benchmark conftest) stay silent by default.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["Progress", "NullProgress"]
+
+
+class Progress:
+    """Prints one status line per completed unit of work to ``stream``."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._label = ""
+        self._total = 0
+        self._done = 0
+        self._started = 0.0
+
+    def start(self, label: str, total: int) -> None:
+        """Begin a phase of ``total`` units called ``label``."""
+        self._label = label
+        self._total = total
+        self._done = 0
+        self._started = time.monotonic()
+        if total:
+            print(f"{label}: {total} unit(s)", file=self.stream, flush=True)
+
+    def advance(self, description: str, cached: bool = False) -> None:
+        """Record one completed unit."""
+        self._done += 1
+        suffix = " (cached)" if cached else ""
+        print(f"  [{self._done}/{self._total}] {description}{suffix}",
+              file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        """Close the phase, reporting elapsed wall-clock time."""
+        elapsed = time.monotonic() - self._started
+        print(f"{self._label}: done in {elapsed:.1f}s",
+              file=self.stream, flush=True)
+
+
+class NullProgress(Progress):
+    """A reporter that swallows every update (the library default)."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=None)
+
+    def start(self, label: str, total: int) -> None:
+        pass
+
+    def advance(self, description: str, cached: bool = False) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass

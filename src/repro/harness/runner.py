@@ -1,0 +1,111 @@
+"""Parallel execution of benchmark cases with cached, deterministic results.
+
+The runner fans the Figure 9 cases out over a ``concurrent.futures`` process
+pool.  Each case is executed by the same case-level hook the serial path
+uses (:func:`repro.eval.experiments.run_benchmark_case`), in a fresh worker
+process with its own simulator state, so parallel results are identical to
+serial ones.  Assembly is order-independent: results land in a slot indexed
+by the case's position in the input list, whatever order workers finish in.
+
+When a :class:`~repro.harness.cache.ResultCache` is supplied, each case is
+looked up before any work is scheduled and stored (JSON-encoded) as soon as
+it completes, so overlapping sweeps and re-runs only simulate the cases they
+have never seen.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List, Optional, Sequence
+
+from repro.common.config import SimConfig
+from repro.common.errors import EvaluationError
+from repro.eval.experiments import (
+    BenchmarkCase,
+    BenchmarkRun,
+    run_benchmark_case,
+)
+from repro.harness.artifacts import decode, encode
+from repro.harness.cache import ResultCache
+from repro.harness.hashing import case_cache_key
+from repro.harness.progress import NullProgress, Progress
+
+__all__ = ["run_cases"]
+
+
+def _execute_case(config: SimConfig, case: BenchmarkCase,
+                  num_workers: int) -> BenchmarkRun:
+    """Worker entry point: run one case on every runtime (picklable)."""
+    return run_benchmark_case(case, config, num_workers)
+
+
+def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
+    """Decode a cached case run; schema-invalid entries become misses."""
+    payload = cache.get(key)
+    if payload is None:
+        return None
+    try:
+        run = decode(payload)
+    except (EvaluationError, KeyError, TypeError, ValueError):
+        run = None
+    if not isinstance(run, BenchmarkRun):
+        cache.demote_hit(key)
+        return None
+    return run
+
+
+def run_cases(
+    config: SimConfig,
+    cases: Sequence[BenchmarkCase],
+    num_workers: int,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Progress] = None,
+) -> List[BenchmarkRun]:
+    """Execute ``cases`` and return their runs in input order.
+
+    ``num_workers`` is the number of *simulated* cores each non-serial
+    runtime uses; ``jobs`` is the number of *host* processes the sweep fans
+    out over (1 keeps everything in-process).
+    """
+    if jobs <= 0:
+        raise EvaluationError("jobs must be positive")
+    progress = progress if progress is not None else NullProgress()
+    progress.start("benchmark sweep", len(cases))
+
+    results: List[Optional[BenchmarkRun]] = [None] * len(cases)
+    pending = []  # (slot, case, cache key)
+    for slot, case in enumerate(cases):
+        key = None
+        if cache is not None:
+            key = case_cache_key(case, config, num_workers)
+            run = _decode_cached_run(cache, key)
+            if run is not None:
+                results[slot] = run
+                progress.advance(case.key, cached=True)
+                continue
+        pending.append((slot, case, key))
+
+    def record(slot: int, case: BenchmarkCase, key: Optional[str],
+               run: BenchmarkRun) -> None:
+        results[slot] = run
+        if cache is not None and key is not None:
+            cache.put(key, encode(run), case=case.key)
+        progress.advance(case.key)
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_case, config, case, num_workers):
+                    (slot, case, key)
+                for slot, case, key in pending
+            }
+            for future in as_completed(futures):
+                slot, case, key = futures[future]
+                record(slot, case, key, future.result())
+    else:
+        for slot, case, key in pending:
+            record(slot, case, key, _execute_case(config, case, num_workers))
+
+    progress.finish()
+    return [run for run in results if run is not None]

@@ -70,12 +70,10 @@ class RuntimeResult:
         """
         if self.tasks_executed <= 0:
             raise RuntimeModelError("no tasks executed")
-        payload = self.serial_cycles / self.num_cores if self.num_cores == 1 \
-            else self.serial_cycles
-        overhead_total = self.elapsed_cycles - (
-            self.serial_cycles if self.num_cores == 1 else 0
-        )
-        if self.num_cores != 1:
+        if self.num_cores == 1:
+            # Single worker: everything beyond the payload is scheduling.
+            overhead_total = self.elapsed_cycles - self.serial_cycles
+        else:
             # For multi-worker runs fall back to the accounted overhead.
             overhead_total = self.overhead_cycles / self.num_cores
         return max(overhead_total, 0) / self.tasks_executed
