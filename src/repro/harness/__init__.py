@@ -13,6 +13,9 @@ The harness is the orchestration layer above :mod:`repro.eval`:
 * :mod:`repro.harness.engine` — the experiment engine driving the
   :data:`repro.eval.EXPERIMENTS` registry, chaining derived experiments
   behind their inputs.
+* :mod:`repro.harness.bench` — engine microbenchmarks and the
+  ``BENCH_engine.json`` perf trajectory tracking events/sec and per-case
+  sweep wall-clock across runs.
 * :mod:`repro.harness.cli` — the ``python -m repro`` command-line front end.
 
 Typical usage::
@@ -25,6 +28,12 @@ Typical usage::
 """
 
 from repro.harness.artifacts import ArtifactStore, decode, encode
+from repro.harness.bench import (
+    PerfTrajectory,
+    measure_case,
+    measure_synthetic,
+    run_engine_bench,
+)
 from repro.harness.cache import CacheStats, ResultCache
 from repro.harness.engine import ExperimentEngine
 from repro.harness.hashing import (
@@ -41,6 +50,7 @@ __all__ = [
     "CacheStats",
     "ExperimentEngine",
     "NullProgress",
+    "PerfTrajectory",
     "Progress",
     "ResultCache",
     "case_cache_key",
@@ -48,6 +58,9 @@ __all__ = [
     "decode",
     "encode",
     "experiment_cache_key",
+    "measure_case",
+    "measure_synthetic",
     "run_cases",
+    "run_engine_bench",
     "stable_hash",
 ]

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro run figure9 --quick --jobs 8
     python -m repro run all --cache-dir /tmp/repro-cache
     python -m repro cache --stats / --clear
+    python -m repro bench --events 1000000    # engine microbenchmark
 
 ``run`` drives the :class:`~repro.harness.engine.ExperimentEngine`, so every
 invocation benefits from the result cache and the process-pool sweep, and
@@ -13,6 +14,12 @@ renders the same rows/series the paper reports.  (The overhead-based bound
 experiments accept tuning knobs — ``--num-tasks`` here, explicit task-size
 grids in ``examples/reproduce_paper.py`` — so absolute bound values may
 differ between entry points when those knobs differ.)
+
+``bench`` measures raw engine throughput (synthetic events/sec on the fast
+and legacy loops plus one timed Figure 9 case) and appends the measurement
+to the ``BENCH_engine.json`` perf trajectory — see
+:mod:`repro.harness.bench`.  ``run --bench-out PATH`` records per-case
+sweep wall-clock into the same trajectory.
 
 Note the cache is keyed by configuration, case parameters and the package
 *version* — it cannot see source edits.  After changing simulator code
@@ -42,6 +49,12 @@ from repro.eval.reporting import (
     resources_report,
 )
 from repro.harness.artifacts import encode
+from repro.harness.bench import (
+    DEFAULT_TRAJECTORY,
+    SPEEDUP_TARGET,
+    PerfTrajectory,
+    run_engine_bench,
+)
 from repro.harness.cache import ResultCache
 from repro.harness.engine import ExperimentEngine
 from repro.harness.progress import NullProgress, Progress
@@ -73,10 +86,12 @@ def render_report(experiment_id: str, result: object) -> str:
 
 
 def default_cache_dir() -> Path:
+    """The result-cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache``."""
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's evaluation experiments.",
@@ -109,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="report format (default text)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress progress output")
+    run.add_argument("--bench-out", type=Path, default=None,
+                     help="append per-case sweep timings to this "
+                          "BENCH_engine.json trajectory")
 
     sub.add_parser("list", help="list the experiment registry")
 
@@ -116,10 +134,29 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=Path, default=None)
     cache.add_argument("--clear", action="store_true",
                        help="delete every cache entry")
+
+    bench = sub.add_parser(
+        "bench",
+        help="engine microbenchmark (events/sec) + perf trajectory",
+    )
+    bench.add_argument("--events", type=int, default=1_000_000,
+                       help="synthetic workload size (default 1000000)")
+    bench.add_argument("--no-case", action="store_true",
+                       help="skip the timed Figure 9 case")
+    bench.add_argument("--no-slow", action="store_true",
+                       help="skip the legacy-loop comparison run")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per measurement, best-of (default 3)")
+    bench.add_argument("--output", type=Path, default=None,
+                       help=f"trajectory file to append to (default "
+                            f"{DEFAULT_TRAJECTORY}; use '-' to disable)")
+    bench.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default text)")
     return parser
 
 
 def _cmd_list(out) -> int:
+    """Print the experiment registry, one line per experiment."""
     for experiment_id in _RUN_ORDER:
         spec = EXPERIMENT_SPECS[experiment_id]
         needs = (f" (derived from {', '.join(spec.depends_on)})"
@@ -129,6 +166,7 @@ def _cmd_list(out) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace, out) -> int:
+    """Report cache statistics, or wipe the cache with ``--clear``."""
     cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
     cache = ResultCache(cache_dir)
     if args.clear:
@@ -141,7 +179,46 @@ def _cmd_cache(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    """Run the engine microbenchmark and append it to the trajectory."""
+    entry = run_engine_bench(
+        num_events=args.events,
+        include_case=not args.no_case,
+        compare_slow=not args.no_slow,
+        config=SimConfig(),
+        repeats=args.repeats,
+    )
+    if args.format == "json":
+        print(json.dumps(entry, indent=2, sort_keys=True), file=out)
+    else:
+        synthetic = entry["synthetic"]
+        print(f"synthetic workload: {synthetic['num_events']} events, "
+              f"{synthetic['events_per_sec']:,.0f} events/sec", file=out)
+        if "speedup_vs_slow" in synthetic:
+            print(f"legacy loop:        "
+                  f"{synthetic['slow_events_per_sec']:,.0f} events/sec "
+                  f"({synthetic['speedup_vs_slow']:.2f}x speedup)", file=out)
+        case = entry.get("figure9_case")
+        if case:
+            print(f"figure9 case:       {case['case']} in "
+                  f"{case['seconds']:.3f}s", file=out)
+    speedup = entry["synthetic"].get("speedup_vs_slow")
+    if speedup is not None and speedup < SPEEDUP_TARGET:
+        print(f"WARNING: fast path is only {speedup:.2f}x the legacy loop "
+              f"(target {SPEEDUP_TARGET}x)", file=sys.stderr)
+    if args.output is None or str(args.output) != "-":
+        path = args.output if args.output is not None \
+            else Path(DEFAULT_TRAJECTORY)
+        trajectory = PerfTrajectory(path)
+        trajectory.append(entry)
+        # Status goes to stderr so `--format json` stdout stays parseable.
+        print(f"recorded in {trajectory.path} "
+              f"({len(trajectory.entries())} entries)", file=sys.stderr)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace, out) -> int:
+    """Run the selected experiments through one shared engine."""
     selected: List[str] = []
     for name in args.experiments:
         if name == "all":
@@ -161,6 +238,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         cache_dir=cache_dir,
         artifact_dir=args.artifact_dir,
         progress=NullProgress() if args.quiet else Progress(),
+        bench_path=args.bench_out,
     )
     json_payload = {}
     for experiment_id in selected:
@@ -194,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(sys.stdout)
         if args.command == "cache":
             return _cmd_cache(args, sys.stdout)
+        if args.command == "bench":
+            return _cmd_bench(args, sys.stdout)
         return _cmd_run(args, sys.stdout)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -7,6 +7,12 @@ over a process pool, and serves anything it has computed before from the
 content-addressed result cache.  The examples, the benchmark conftest and
 the ``python -m repro`` CLI all sit on top of this one class, so they cannot
 drift apart.
+
+When constructed with ``bench_path``, the engine appends one ``"sweep"``
+entry of per-case wall-clock seconds to that ``BENCH_engine.json``
+trajectory (:class:`repro.harness.bench.PerfTrajectory`) after every sweep
+that simulated at least one case, so real-experiment performance is tracked
+across runs and commits, not just the synthetic microbenchmark.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.eval.experiments import (
 )
 from repro.eval.overhead import DEFAULT_NUM_TASKS as FIGURE7_DEFAULT_NUM_TASKS
 from repro.harness.artifacts import ArtifactStore, decode, encode
+from repro.harness.bench import PerfTrajectory
 from repro.harness.cache import CacheStats, ResultCache
 from repro.harness.hashing import experiment_cache_key
 from repro.harness.progress import NullProgress, Progress
@@ -55,7 +62,15 @@ class ExperimentEngine:
         cache_dir: Optional[Path] = None,
         artifact_dir: Optional[Path] = None,
         progress: Optional[Progress] = None,
+        bench_path: Optional[Path] = None,
     ) -> None:
+        """Create an engine.
+
+        ``jobs`` is the process-pool width of the benchmark sweep;
+        ``cache_dir`` enables the on-disk result cache; ``artifact_dir``
+        archives every experiment result as JSON; ``bench_path`` appends
+        per-case sweep timings to a ``BENCH_engine.json`` trajectory.
+        """
         if jobs <= 0:
             raise EvaluationError("jobs must be positive")
         self.config = config if config is not None else SimConfig()
@@ -64,6 +79,11 @@ class ExperimentEngine:
         self.artifacts = (ArtifactStore(artifact_dir)
                           if artifact_dir is not None else None)
         self.progress = progress if progress is not None else NullProgress()
+        self.trajectory = (PerfTrajectory(bench_path)
+                           if bench_path is not None else None)
+        #: Wall-clock seconds per simulated case of the most recent sweep
+        #: (empty when the sweep was fully served from cache/memo).
+        self.case_timings: dict = {}
         # In-memory memo of completed sweeps, so chained derived experiments
         # in one engine share the Figure 9 runs even with no disk cache.
         self._sweep_memo: dict = {}
@@ -127,9 +147,15 @@ class ExperimentEngine:
                     else benchmark_cases(quick, scale))
         memo_key = (workers, tuple(selected))
         if memo_key in self._sweep_memo:
+            self.case_timings = {}
             return list(self._sweep_memo[memo_key])
+        timings: dict = {}
         runs = run_cases(self.config, selected, workers, jobs=self.jobs,
-                         cache=self.cache, progress=self.progress)
+                         cache=self.cache, progress=self.progress,
+                         timings=timings)
+        self.case_timings = timings
+        if self.trajectory is not None:
+            self.trajectory.record_sweep("figure9", timings)
         self._sweep_memo[memo_key] = runs
         return list(runs)
 

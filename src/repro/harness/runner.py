@@ -11,12 +11,19 @@ When a :class:`~repro.harness.cache.ResultCache` is supplied, each case is
 looked up before any work is scheduled and stored (JSON-encoded) as soon as
 it completes, so overlapping sweeps and re-runs only simulate the cases they
 have never seen.
+
+Every executed (non-cached) case is timed where it runs — inside the worker
+process for parallel sweeps — and the wall-clock seconds are reported back
+through the optional ``timings`` mapping, which the experiment engine feeds
+into the ``BENCH_engine.json`` perf trajectory
+(:mod:`repro.harness.bench`).
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
@@ -34,9 +41,17 @@ __all__ = ["run_cases"]
 
 
 def _execute_case(config: SimConfig, case: BenchmarkCase,
-                  num_workers: int) -> BenchmarkRun:
-    """Worker entry point: run one case on every runtime (picklable)."""
-    return run_benchmark_case(case, config, num_workers)
+                  num_workers: int) -> Tuple[BenchmarkRun, float]:
+    """Worker entry point: run and time one case on every runtime.
+
+    Returns ``(run, wall_seconds)``; both halves are picklable so the pair
+    travels back from process-pool workers unchanged.  Timing happens here,
+    in the worker, so parallel sweeps measure simulation cost rather than
+    pool scheduling latency.
+    """
+    started = time.perf_counter()
+    run = run_benchmark_case(case, config, num_workers)
+    return run, time.perf_counter() - started
 
 
 def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
@@ -61,12 +76,17 @@ def run_cases(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> List[BenchmarkRun]:
     """Execute ``cases`` and return their runs in input order.
 
     ``num_workers`` is the number of *simulated* cores each non-serial
     runtime uses; ``jobs`` is the number of *host* processes the sweep fans
     out over (1 keeps everything in-process).
+
+    When a ``timings`` mapping is passed, it is populated with the
+    wall-clock seconds of every case that was actually simulated (keyed by
+    ``case.key``); cache hits cost no simulation and are not recorded.
     """
     if jobs <= 0:
         raise EvaluationError("jobs must be positive")
@@ -87,10 +107,12 @@ def run_cases(
         pending.append((slot, case, key))
 
     def record(slot: int, case: BenchmarkCase, key: Optional[str],
-               run: BenchmarkRun) -> None:
+               run: BenchmarkRun, seconds: float) -> None:
         results[slot] = run
         if cache is not None and key is not None:
             cache.put(key, encode(run), case=case.key)
+        if timings is not None:
+            timings[case.key] = seconds
         progress.advance(case.key)
 
     if jobs > 1 and len(pending) > 1:
@@ -102,10 +124,12 @@ def run_cases(
             }
             for future in as_completed(futures):
                 slot, case, key = futures[future]
-                record(slot, case, key, future.result())
+                run, seconds = future.result()
+                record(slot, case, key, run, seconds)
     else:
         for slot, case, key in pending:
-            record(slot, case, key, _execute_case(config, case, num_workers))
+            run, seconds = _execute_case(config, case, num_workers)
+            record(slot, case, key, run, seconds)
 
     progress.finish()
     return [run for run in results if run is not None]

@@ -171,12 +171,17 @@ def wait_for_signals(soc: SoC, queues=(), counters=(), events=(),
       This closes the lost-wake-up window between a failed fetch and the
       subscription of the observers.
     """
+    # Hot path: every worker idle period passes through here, so the
+    # activity scans are plain loops over internal state (no generator
+    # expressions, no property descriptors).
     if predicate is not None and predicate():
         return
-    if any(queue.valid for queue in queues):
-        return
-    if any(event.triggered for event in events):
-        return
+    for queue in queues:
+        if queue._items:
+            return
+    for event in events:
+        if event._triggered:
+            return
     wake = soc.engine.event(name="worker_wake")
 
     def on_signal(_value=None) -> None:

@@ -61,9 +61,15 @@ class RoundRobinArbiter:
         output.subscribe_dequeue(self._kick)
 
     def _kick(self) -> None:
+        # Hot path: runs after every enqueue on any input, so the emptiness
+        # scan is a plain loop over the internal deques (no generator, no
+        # property descriptors).
         if self._busy or self.output.full:
             return
-        if not any(queue.valid for queue in self.inputs):
+        for queue in self.inputs:
+            if queue._items:
+                break
+        else:
             return
         self._busy = True
         self.engine.schedule_callback(self.cycles_per_grant, self._grant)
@@ -76,7 +82,7 @@ class RoundRobinArbiter:
         for offset in range(n):
             index = (self._next_index + offset) % n
             queue = self.inputs[index]
-            if queue.valid:
+            if queue._items:
                 item = queue.try_get()
                 self.output.try_put(item)
                 self.grants += 1

@@ -97,14 +97,14 @@ class DecoupledQueue(Generic[T]):
 
     def try_put(self, item: T) -> bool:
         """Enqueue ``item`` if space is available; return success."""
-        if self.full:
+        if len(self._items) >= self.capacity:
             return False
         self._enqueue(item)
         return True
 
     def try_get(self) -> Optional[T]:
         """Dequeue and return the head item, or None if the queue is empty."""
-        if self.empty:
+        if not self._items:
             return None
         return self._dequeue()
 
@@ -122,14 +122,14 @@ class DecoupledQueue(Generic[T]):
     # Engine integration (blocking interface)
     # ------------------------------------------------------------------ #
     def _blocking_put(self, process: Process, item: T) -> None:
-        if self.ready and not self._put_waiters:
+        if not self._put_waiters and len(self._items) < self.capacity:
             self._enqueue(item)
             self.engine._resume(process, None)
         else:
             self._put_waiters.append((process, item))
 
     def _blocking_get(self, process: Process) -> None:
-        if self.valid:
+        if self._items:
             item = self._dequeue()
             self.engine._resume(process, item)
         else:
@@ -139,18 +139,25 @@ class DecoupledQueue(Generic[T]):
     # Internals
     # ------------------------------------------------------------------ #
     def _enqueue(self, item: T) -> None:
-        self._items.append(item)
+        # Hot path: waiter wake-ups and observer fan-out are skipped
+        # entirely (no method call) when nobody is subscribed or blocked.
+        items = self._items
+        items.append(item)
         self.total_enqueued += 1
-        if len(self._items) > self.high_watermark:
-            self.high_watermark = len(self._items)
-        self._wake_getters()
-        self._notify(self._enqueue_observers)
+        if len(items) > self.high_watermark:
+            self.high_watermark = len(items)
+        if self._get_waiters or self._put_waiters:
+            self._wake_getters()
+        if self._enqueue_observers:
+            self._notify(self._enqueue_observers)
 
     def _dequeue(self) -> T:
         item = self._items.popleft()
         self.total_dequeued += 1
-        self._wake_putters()
-        self._notify(self._dequeue_observers)
+        if self._put_waiters or self._get_waiters:
+            self._wake_putters()
+        if self._dequeue_observers:
+            self._notify(self._dequeue_observers)
         return item
 
     def _notify(self, observers: List[Any]) -> None:
