@@ -32,7 +32,7 @@ from repro.runtime import (
     TaskProgram,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineConfig",

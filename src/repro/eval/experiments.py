@@ -71,11 +71,30 @@ __all__ = [
     "figure10_bounds_vs_measured",
     "table2_resources",
     "headline_summary",
+    "checked_geometric_mean",
     "HeadlineSummary",
     "ExperimentSpec",
     "EXPERIMENT_SPECS",
     "EXPERIMENTS",
 ]
+
+
+def checked_geometric_mean(values: Sequence[float], experiment: str,
+                           series: str) -> float:
+    """:func:`geometric_mean` that raises :class:`EvaluationError` instead.
+
+    ``geometric_mean`` raises a bare :class:`ValueError` on an empty or
+    non-positive series; every experiment aggregation goes through this
+    wrapper so the failure names the experiment and the offending input
+    rather than surfacing an anonymous statistics error.
+    """
+    try:
+        return geometric_mean(values)
+    except ValueError as exc:
+        raise EvaluationError(
+            f"{experiment}: geometric mean of {series} failed ({exc}); "
+            f"values={list(values)!r}"
+        ) from exc
 
 #: Runtimes compared in Figures 8/9/10, in the paper's plotting order.
 _COMPARED_RUNTIMES = ("nanos-sw", "nanos-rv", "phentos")
@@ -340,15 +359,27 @@ def figure8_granularity(runs: Sequence[BenchmarkRun]) -> List[GranularityPoint]:
     points: List[GranularityPoint] = []
     for run in runs:
         for runtime in _COMPARED_RUNTIMES:
-            points.append(GranularityPoint(
-                runtime=runtime,
-                benchmark=run.case.benchmark,
-                label=run.case.label,
-                task_size_cycles=run.mean_task_cycles,
-                speedup_vs_serial=run.speedup_vs_serial(runtime),
-                speedup_vs_nanos_sw=run.speedup_over(runtime, "nanos-sw"),
-                speedup_vs_nanos_rv=run.speedup_over(runtime, "nanos-rv"),
-            ))
+            try:
+                point = GranularityPoint(
+                    runtime=runtime,
+                    benchmark=run.case.benchmark,
+                    label=run.case.label,
+                    task_size_cycles=run.mean_task_cycles,
+                    speedup_vs_serial=run.speedup_vs_serial(runtime),
+                    speedup_vs_nanos_sw=run.speedup_over(runtime, "nanos-sw"),
+                    speedup_vs_nanos_rv=run.speedup_over(runtime, "nanos-rv"),
+                )
+            except EvaluationError:
+                raise
+            except Exception as exc:
+                # A run with missing runtimes or degenerate cycle counts
+                # (e.g. decoded from a hand-edited artifact) would otherwise
+                # surface as a bare KeyError/ZeroDivisionError.
+                raise EvaluationError(
+                    f"figure8: cannot compute speedups for {run.case.key} "
+                    f"({runtime}): {exc!r}"
+                ) from exc
+            points.append(point)
     return points
 
 
@@ -467,9 +498,12 @@ def headline_summary(runs: Sequence[BenchmarkRun]) -> HeadlineSummary:
     ph_vs_sw = [run.speedup_over("phentos", "nanos-sw") for run in runs]
     ph_vs_rv = [run.speedup_over("phentos", "nanos-rv") for run in runs]
     return HeadlineSummary(
-        geomean_nanos_rv_vs_sw=geometric_mean(rv_vs_sw),
-        geomean_phentos_vs_sw=geometric_mean(ph_vs_sw),
-        geomean_phentos_vs_rv=geometric_mean(ph_vs_rv),
+        geomean_nanos_rv_vs_sw=checked_geometric_mean(
+            rv_vs_sw, "headline", "nanos-rv vs nanos-sw speedups"),
+        geomean_phentos_vs_sw=checked_geometric_mean(
+            ph_vs_sw, "headline", "phentos vs nanos-sw speedups"),
+        geomean_phentos_vs_rv=checked_geometric_mean(
+            ph_vs_rv, "headline", "phentos vs nanos-rv speedups"),
         max_speedup_vs_serial_nanos_rv=max(
             run.speedup_vs_serial("nanos-rv") for run in runs
         ),

@@ -20,6 +20,7 @@ from repro.eval.experiments import (
 from repro.eval.mtt import MttBound
 from repro.eval.overhead import OverheadMeasurement
 from repro.eval.resources import ResourceEntry
+from repro.eval.scaling import ScalingCurve, scaling_geomeans
 
 __all__ = [
     "format_table",
@@ -30,6 +31,7 @@ __all__ = [
     "comparisons_report",
     "resources_report",
     "headline_report",
+    "scaling_report",
     "rows_to_csv",
 ]
 
@@ -161,6 +163,54 @@ def resources_report(entries: Sequence[ResourceEntry]) -> str:
         for entry in entries
     ]
     return format_table(["Module", "Usage", "Fraction", "Description"], rows)
+
+
+def scaling_report(curves: Sequence[ScalingCurve],
+                   runtime: Optional[str] = None) -> str:
+    """Scaling sweep: speedup per core count, saturation and MTT cap.
+
+    One row per (runtime, input) curve with a column per simulated core
+    count (``N* marks points at ≥95% of the MTT bound``), the measured
+    saturation core count, and the core count where the analytic bound
+    flattens; a geometric-mean row closes each runtime's block.
+    """
+    if not curves:
+        return "no scaling curves"
+    selected = [curve for curve in curves
+                if runtime is None or curve.runtime == runtime]
+    counts = [point.cores for point in selected[0].points] if selected else []
+    headers = (["runtime", "input", "task (cy)"]
+               + [f"{count}c" for count in counts]
+               + ["saturates", "MTT cap"])
+    geomeans = scaling_geomeans(selected) if selected else {}
+    grouped: Dict[str, List[ScalingCurve]] = {}
+    for curve in selected:
+        grouped.setdefault(curve.runtime, []).append(curve)
+    rows = []
+    for name, block in grouped.items():
+        for curve in block:
+            cells = []
+            for point in curve.points:
+                marker = ("*" if point.speedup_vs_serial
+                          >= 0.95 * point.mtt_bound else "")
+                cells.append(f"{point.speedup_vs_serial:.2f}{marker}")
+            rows.append(
+                [curve.runtime, curve.case_key,
+                 f"{curve.mean_task_cycles:.0f}"]
+                + cells
+                + [f"{curve.measured_saturation_cores()}c",
+                   f"{curve.bound_saturation_cores:.1f}c"]
+            )
+        rows.append(_scaling_geomean_row(name, geomeans, counts))
+    return format_table(headers, rows)
+
+
+def _scaling_geomean_row(runtime: str, geomeans, counts) -> List[str]:
+    per_cores = geomeans.get(runtime, {})
+    return ([runtime, "geomean", "-"]
+            + [f"{per_cores[count]:.2f}" if count in per_cores else "-"
+               for count in counts]
+            + ["-", "-"])
 
 
 def headline_report(summary: HeadlineSummary) -> str:

@@ -8,11 +8,15 @@ The harness is the orchestration layer above :mod:`repro.eval`:
   re-runs and overlapping sweeps are served from disk.
 * :mod:`repro.harness.artifacts` — JSON round-tripping of every result
   dataclass plus an artifact store for archiving experiment outputs.
-* :mod:`repro.harness.runner` — fans benchmark cases out over a process
-  pool with deterministic, order-independent result assembly.
+* :mod:`repro.harness.runner` — fans benchmark (case × config) units out
+  over a process pool with deterministic, order-independent result
+  assembly.
+* :mod:`repro.harness.sweep` — grid sweeps: :class:`SweepGrid` products of
+  experiments and config overrides (e.g. core counts), the substrate of
+  the ``scaling_curves`` experiment.
 * :mod:`repro.harness.engine` — the experiment engine driving the
   :data:`repro.eval.EXPERIMENTS` registry, chaining derived experiments
-  behind their inputs.
+  behind their inputs and executing grid sweeps end to end.
 * :mod:`repro.harness.bench` — engine microbenchmarks and the
   ``BENCH_engine.json`` perf trajectory tracking events/sec and per-case
   sweep wall-clock across runs.
@@ -37,29 +41,47 @@ from repro.harness.bench import (
 from repro.harness.cache import CacheStats, ResultCache
 from repro.harness.engine import ExperimentEngine
 from repro.harness.hashing import (
+    CACHE_SCHEMA,
+    canonical_case_config,
     case_cache_key,
     config_fingerprint,
     experiment_cache_key,
+    grid_cache_key,
     stable_hash,
 )
 from repro.harness.progress import NullProgress, Progress
-from repro.harness.runner import run_cases
+from repro.harness.runner import CaseUnit, run_case_grid, run_cases
+from repro.harness.sweep import (
+    GridPoint,
+    GridResult,
+    SweepGrid,
+    apply_overrides,
+)
 
 __all__ = [
     "ArtifactStore",
+    "CACHE_SCHEMA",
     "CacheStats",
+    "CaseUnit",
     "ExperimentEngine",
+    "GridPoint",
+    "GridResult",
     "NullProgress",
     "PerfTrajectory",
     "Progress",
     "ResultCache",
+    "SweepGrid",
+    "apply_overrides",
+    "canonical_case_config",
     "case_cache_key",
     "config_fingerprint",
     "decode",
     "encode",
     "experiment_cache_key",
+    "grid_cache_key",
     "measure_case",
     "measure_synthetic",
+    "run_case_grid",
     "run_cases",
     "run_engine_bench",
     "stable_hash",

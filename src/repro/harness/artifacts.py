@@ -31,6 +31,7 @@ from repro.eval.experiments import (
 from repro.eval.mtt import MttBound
 from repro.eval.overhead import OverheadMeasurement
 from repro.eval.resources import ResourceEntry
+from repro.eval.scaling import ScalingCurve, ScalingPoint
 from repro.runtime.base import RuntimeResult
 
 __all__ = ["ARTIFACT_TYPES", "encode", "decode", "ArtifactStore"]
@@ -47,6 +48,8 @@ ARTIFACT_TYPES: Dict[str, Type] = {
         MttBound,
         OverheadMeasurement,
         ResourceEntry,
+        ScalingCurve,
+        ScalingPoint,
     )
 }
 

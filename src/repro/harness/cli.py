@@ -5,6 +5,7 @@ Subcommands::
     python -m repro list                      # registry contents
     python -m repro run figure9 --quick --jobs 8
     python -m repro run all --cache-dir /tmp/repro-cache
+    python -m repro sweep --experiment scaling_curves --cores 1,2,4,8
     python -m repro cache --stats / --clear
     python -m repro bench --events 1000000    # engine microbenchmark
 
@@ -15,11 +16,19 @@ experiments accept tuning knobs — ``--num-tasks`` here, explicit task-size
 grids in ``examples/reproduce_paper.py`` — so absolute bound values may
 differ between entry points when those knobs differ.)
 
-``bench`` measures raw engine throughput (synthetic events/sec on the fast
-and legacy loops plus one timed Figure 9 case) and appends the measurement
-to the ``BENCH_engine.json`` perf trajectory — see
-:mod:`repro.harness.bench`.  ``run --bench-out PATH`` records per-case
-sweep wall-clock into the same trajectory.
+``sweep`` runs grid sweeps: the ``scaling_curves`` experiment over a
+``--cores`` grid (optionally filtered to ``--runtimes``), or any other
+registry experiment repeated per core count.  All grid work shares one
+process pool (``--jobs``, defaulting to ``$REPRO_JOBS``) and the result
+cache, and the 8-core column of a scaling sweep addresses exactly the
+Figure 9 cache entries — re-running a sweep, with any ``--jobs`` value,
+is a pure cache hit.
+
+``bench`` measures raw engine throughput (synthetic events/sec plus one
+timed Figure 9 case) and appends the measurement to the
+``BENCH_engine.json`` perf trajectory — see :mod:`repro.harness.bench`.
+``run --bench-out PATH`` records per-case sweep wall-clock into the same
+trajectory.
 
 Note the cache is keyed by configuration, case parameters and the package
 *version* — it cannot see source edits.  After changing simulator code
@@ -47,17 +56,18 @@ from repro.eval.reporting import (
     headline_report,
     overhead_report,
     resources_report,
+    scaling_report,
 )
 from repro.harness.artifacts import encode
 from repro.harness.bench import (
     DEFAULT_TRAJECTORY,
-    SPEEDUP_TARGET,
     PerfTrajectory,
     run_engine_bench,
 )
 from repro.harness.cache import ResultCache
 from repro.harness.engine import ExperimentEngine
 from repro.harness.progress import NullProgress, Progress
+from repro.harness.sweep import SweepGrid
 
 __all__ = ["main", "build_parser", "render_report"]
 
@@ -65,7 +75,13 @@ __all__ = ["main", "build_parser", "render_report"]
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro_cache"
 
-#: Experiment identifiers in presentation order ("all" runs these in order).
+#: Environment variable giving the default host-process fan-out of
+#: ``sweep`` (never part of any cache key, so changing it cannot
+#: invalidate results).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Experiment identifiers in presentation order ("all" runs these in order;
+#: ``scaling_curves`` is grid-shaped and runs through ``sweep`` instead).
 _RUN_ORDER = ("figure7", "figure6", "figure9", "figure8", "figure10",
               "table2", "headline")
 
@@ -77,6 +93,7 @@ _RENDERERS = {
     "figure10": comparisons_report,
     "table2": resources_report,
     "headline": headline_report,
+    "scaling_curves": scaling_report,
 }
 
 
@@ -88,6 +105,58 @@ def render_report(experiment_id: str, result: object) -> str:
 def default_cache_dir() -> Path:
     """The result-cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache``."""
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def _parse_cores(text: str) -> List[int]:
+    """argparse type for ``--cores``: '1,2,4' -> [1, 2, 4]."""
+    try:
+        return [int(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid core list {text!r}; expected comma-separated integers"
+        )
+
+
+def _parse_runtimes(text: str) -> List[str]:
+    """argparse type for ``--runtimes``: 'phentos,nanos-rv' -> list."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _default_jobs() -> int:
+    """The ``$REPRO_JOBS`` fan-out, resolved lazily (1 when unset/invalid).
+
+    Resolved at command time rather than parser-build time so a malformed
+    value cannot break unrelated subcommands.
+    """
+    try:
+        return int(os.environ.get(JOBS_ENV, "1") or "1")
+    except ValueError:
+        print(f"warning: ignoring invalid ${JOBS_ENV}="
+              f"{os.environ[JOBS_ENV]!r}; using 1 job", file=sys.stderr)
+        return 1
+
+
+def _build_engine(args: argparse.Namespace, jobs: int) -> ExperimentEngine:
+    """The shared engine wiring of the ``run`` and ``sweep`` subcommands."""
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    return ExperimentEngine(
+        config=SimConfig(),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        artifact_dir=args.artifact_dir,
+        progress=NullProgress() if args.quiet else Progress(),
+        bench_path=args.bench_out,
+    )
+
+
+def _print_cache_stats(engine: ExperimentEngine, quiet: bool) -> None:
+    """Report hit/miss counters on stderr (suppressed by ``--quiet``)."""
+    stats = engine.cache_stats
+    if not quiet and stats.lookups:
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
+              f"({stats.hit_rate * 100:.0f}% hit rate)", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +197,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append per-case sweep timings to this "
                           "BENCH_engine.json trajectory")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid sweeps: an experiment across core counts "
+             "(default: scaling_curves)",
+    )
+    sweep.add_argument("--experiment", default="scaling_curves",
+                       help="experiment to sweep (default scaling_curves)")
+    sweep.add_argument("--cores", type=_parse_cores, default=None,
+                       help="comma-separated core counts "
+                            "(default 1,2,4,8,16,32,64)")
+    sweep.add_argument("--runtimes", type=_parse_runtimes, default=None,
+                       help="comma-separated runtime filter for "
+                            "scaling_curves (default "
+                            "nanos-sw,nanos-rv,phentos)")
+    sweep.add_argument("--quick", action="store_true",
+                       help="reduced benchmark sweep")
+    sweep.add_argument("--scale", type=float, default=1.0,
+                       help="shrink problem sizes proportionally "
+                            "(default 1.0)")
+    sweep.add_argument("--jobs", "-j", type=int, default=None,
+                       help=f"host processes for the grid (default "
+                            f"${JOBS_ENV} or 1; never part of cache keys)")
+    sweep.add_argument("--cache-dir", type=Path, default=None,
+                       help=f"result cache directory (default "
+                            f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    sweep.add_argument("--artifact-dir", type=Path, default=None,
+                       help="also archive the sweep result as a JSON "
+                            "artifact here")
+    sweep.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default text)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress progress output")
+    sweep.add_argument("--bench-out", type=Path, default=None,
+                       help="append per-unit sweep timings to this "
+                            "BENCH_engine.json trajectory")
+
     sub.add_parser("list", help="list the experiment registry")
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
@@ -143,8 +250,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic workload size (default 1000000)")
     bench.add_argument("--no-case", action="store_true",
                        help="skip the timed Figure 9 case")
-    bench.add_argument("--no-slow", action="store_true",
-                       help="skip the legacy-loop comparison run")
     bench.add_argument("--repeats", type=int, default=3,
                        help="runs per measurement, best-of (default 3)")
     bench.add_argument("--output", type=Path, default=None,
@@ -157,11 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list(out) -> int:
     """Print the experiment registry, one line per experiment."""
-    for experiment_id in _RUN_ORDER:
+    for experiment_id in _RUN_ORDER + ("scaling_curves",):
         spec = EXPERIMENT_SPECS[experiment_id]
         needs = (f" (derived from {', '.join(spec.depends_on)})"
                  if spec.depends_on else "")
-        print(f"{experiment_id:<10} {spec.title}{needs}", file=out)
+        if experiment_id == "scaling_curves":
+            needs += " [grid-shaped; run via 'sweep']"
+        print(f"{experiment_id:<14} {spec.title}{needs}", file=out)
     return 0
 
 
@@ -184,7 +291,6 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     entry = run_engine_bench(
         num_events=args.events,
         include_case=not args.no_case,
-        compare_slow=not args.no_slow,
         config=SimConfig(),
         repeats=args.repeats,
     )
@@ -194,18 +300,10 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         synthetic = entry["synthetic"]
         print(f"synthetic workload: {synthetic['num_events']} events, "
               f"{synthetic['events_per_sec']:,.0f} events/sec", file=out)
-        if "speedup_vs_slow" in synthetic:
-            print(f"legacy loop:        "
-                  f"{synthetic['slow_events_per_sec']:,.0f} events/sec "
-                  f"({synthetic['speedup_vs_slow']:.2f}x speedup)", file=out)
         case = entry.get("figure9_case")
         if case:
             print(f"figure9 case:       {case['case']} in "
                   f"{case['seconds']:.3f}s", file=out)
-    speedup = entry["synthetic"].get("speedup_vs_slow")
-    if speedup is not None and speedup < SPEEDUP_TARGET:
-        print(f"WARNING: fast path is only {speedup:.2f}x the legacy loop "
-              f"(target {SPEEDUP_TARGET}x)", file=sys.stderr)
     if args.output is None or str(args.output) != "-":
         path = args.output if args.output is not None \
             else Path(DEFAULT_TRAJECTORY)
@@ -214,6 +312,54 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         # Status goes to stderr so `--format json` stdout stays parseable.
         print(f"recorded in {trajectory.path} "
               f"({len(trajectory.entries())} entries)", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    """Run a grid sweep (scaling curves by default) and render it."""
+    from repro.eval.scaling import DEFAULT_CORE_COUNTS
+
+    if args.experiment not in EXPERIMENT_SPECS:
+        print(f"error: unknown experiment {args.experiment!r}; expected one "
+              f"of {', '.join(sorted(EXPERIMENT_SPECS))}", file=sys.stderr)
+        return 2
+    cores = args.cores if args.cores else list(DEFAULT_CORE_COUNTS)
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
+    engine = _build_engine(args, jobs)
+    if args.experiment == "scaling_curves":
+        result = engine.run("scaling_curves", quick=args.quick,
+                            scale=args.scale, core_counts=cores,
+                            runtimes=args.runtimes)
+        if args.format == "json":
+            print(json.dumps({"scaling_curves": encode(result)},
+                             indent=2, sort_keys=True), file=out)
+        else:
+            print(f"\n=== scaling_curves: "
+                  f"{EXPERIMENT_SPECS['scaling_curves'].title} ===",
+                  file=out)
+            print(render_report("scaling_curves", result), file=out)
+    else:
+        if args.runtimes:
+            print("note: --runtimes only applies to scaling_curves; ignored",
+                  file=sys.stderr)
+        grid = SweepGrid.cores((args.experiment,), cores)
+        results = engine.run_grid(grid, quick=args.quick, scale=args.scale)
+        if args.format == "json":
+            payload = {item.point.label: encode(item.result)
+                       for item in results}
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        else:
+            for item in results:
+                print(f"\n=== {item.point.label} ===", file=out)
+                print(render_report(args.experiment, item.result), file=out)
+        if args.artifact_dir is not None:
+            # run_grid has no single experiment id; archive per point.
+            from repro.harness.artifacts import ArtifactStore
+            store = ArtifactStore(args.artifact_dir)
+            for item in results:
+                store.save(item.point.label.replace("/", "_"),
+                           item.result, cores=dict(item.point.overrides))
+    _print_cache_stats(engine, args.quiet)
     return 0
 
 
@@ -229,17 +375,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             print(f"error: unknown experiment {name!r}; expected one of "
                   f"{', '.join(_RUN_ORDER)} or 'all'", file=sys.stderr)
             return 2
-    cache_dir = None
-    if not args.no_cache:
-        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
-    engine = ExperimentEngine(
-        config=SimConfig(),
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        artifact_dir=args.artifact_dir,
-        progress=NullProgress() if args.quiet else Progress(),
-        bench_path=args.bench_out,
-    )
+    engine = _build_engine(args, args.jobs)
     json_payload = {}
     for experiment_id in selected:
         result = engine.run(
@@ -257,10 +393,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             print(render_report(experiment_id, result), file=out)
     if args.format == "json":
         print(json.dumps(json_payload, indent=2, sort_keys=True), file=out)
-    stats = engine.cache_stats
-    if not args.quiet and stats.lookups:
-        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
-              f"({stats.hit_rate * 100:.0f}% hit rate)", file=sys.stderr)
+    _print_cache_stats(engine, args.quiet)
     return 0
 
 
@@ -274,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args, sys.stdout)
         if args.command == "bench":
             return _cmd_bench(args, sys.stdout)
+        if args.command == "sweep":
+            return _cmd_sweep(args, sys.stdout)
         return _cmd_run(args, sys.stdout)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

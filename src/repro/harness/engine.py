@@ -8,6 +8,16 @@ content-addressed result cache.  The examples, the benchmark conftest and
 the ``python -m repro`` CLI all sit on top of this one class, so they cannot
 drift apart.
 
+Beyond the paper's single-machine experiments the engine executes **grid
+sweeps** (:meth:`run_grid`): a :class:`~repro.harness.sweep.SweepGrid` of
+(experiment × config-override) points whose benchmark work — across *all*
+grid points — is fanned through one process pool and the shared result
+cache.  The ``scaling_curves`` experiment is built on this: every Figure 9
+case at every requested core count, assembled into speedup-versus-cores
+curves against the MTT bounds (:mod:`repro.eval.scaling`).  Because cache
+keys canonicalise the worker count into the configuration, the 8-core
+column of a scaling sweep addresses exactly the Figure 9 entries.
+
 When constructed with ``bench_path``, the engine appends one ``"sweep"``
 entry of per-case wall-clock seconds to that ``BENCH_engine.json``
 trajectory (:class:`repro.harness.bench.PerfTrajectory`) after every sweep
@@ -18,7 +28,7 @@ across runs and commits, not just the synthetic microbenchmark.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
@@ -32,12 +42,21 @@ from repro.eval.experiments import (
     figure10_bound_task_sizes,
 )
 from repro.eval.overhead import DEFAULT_NUM_TASKS as FIGURE7_DEFAULT_NUM_TASKS
+from repro.eval.overhead import measure_lifetime_overhead
+from repro.eval.scaling import (
+    DEFAULT_OVERHEAD_NUM_TASKS,
+    ScalingCurve,
+    build_scaling_curves,
+    normalize_core_counts,
+    normalize_runtimes,
+)
 from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import PerfTrajectory
 from repro.harness.cache import CacheStats, ResultCache
-from repro.harness.hashing import experiment_cache_key
+from repro.harness.hashing import experiment_cache_key, grid_cache_key
 from repro.harness.progress import NullProgress, Progress
-from repro.harness.runner import run_cases
+from repro.harness.runner import CaseUnit, run_case_grid, run_cases
+from repro.harness.sweep import GridPoint, GridResult, SweepGrid
 
 __all__ = ["ExperimentEngine"]
 
@@ -84,8 +103,9 @@ class ExperimentEngine:
         #: Wall-clock seconds per simulated case of the most recent sweep
         #: (empty when the sweep was fully served from cache/memo).
         self.case_timings: dict = {}
-        # In-memory memo of completed sweeps, so chained derived experiments
-        # in one engine share the Figure 9 runs even with no disk cache.
+        # In-memory memo of completed sweeps keyed by (config, workers,
+        # cases), so chained derived experiments and grid points in one
+        # engine share the Figure 9 runs even with no disk cache.
         self._sweep_memo: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -104,6 +124,8 @@ class ExperimentEngine:
         num_workers: Optional[int] = None,
         num_tasks: Optional[int] = None,
         cases: Optional[Sequence[BenchmarkCase]] = None,
+        core_counts: Optional[Sequence[int]] = None,
+        runtimes: Optional[Sequence[str]] = None,
     ) -> object:
         """Run one experiment, chaining its dependencies as needed.
 
@@ -111,7 +133,9 @@ class ExperimentEngine:
         returns, so callers migrating from direct calls keep their types.
         ``quick``/``scale``/``cases`` select the benchmark sweep inputs and
         ``num_tasks`` the micro-benchmark length of the overhead-based
-        experiments; irrelevant knobs are ignored per experiment.
+        experiments; ``core_counts``/``runtimes`` parameterise the
+        ``scaling_curves`` grid; irrelevant knobs are ignored per
+        experiment.
         """
         spec = EXPERIMENT_SPECS.get(experiment_id)
         if spec is None:
@@ -119,7 +143,10 @@ class ExperimentEngine:
                 f"unknown experiment {experiment_id!r}; expected one of "
                 f"{sorted(EXPERIMENT_SPECS)}"
             )
-        if experiment_id == "figure9":
+        if experiment_id == "scaling_curves":
+            result = self._run_scaling(quick, scale, cases, core_counts,
+                                       runtimes)
+        elif experiment_id == "figure9":
             result = self._run_sweep(quick, scale, num_workers, cases)
         elif spec.is_derived:
             result = self._run_derived(experiment_id, quick, scale,
@@ -131,26 +158,70 @@ class ExperimentEngine:
                                 quick=quick, scale=scale)
         return result
 
+    def run_grid(
+        self,
+        grid: SweepGrid,
+        quick: bool = False,
+        scale: float = 1.0,
+        num_tasks: Optional[int] = None,
+        cases: Optional[Sequence[BenchmarkCase]] = None,
+    ) -> List[GridResult]:
+        """Execute every point of ``grid`` and return its results in order.
+
+        All benchmark-sweep work behind the grid — every (case × config
+        override) unit of every figure9-backed point — is batched through
+        *one* process-pool invocation and the shared result cache before
+        the points are assembled, so grid wall-clock tracks total work and
+        repeated columns are pure cache hits.
+        """
+        points = grid.points()
+        self._prime_grid_sweeps(points, quick, scale, cases)
+        grid_timings = dict(self.case_timings)
+        results = [
+            GridResult(point, self._run_point(point, quick, scale,
+                                              num_tasks, cases))
+            for point in points
+        ]
+        # Memo-served assembly clears per-sweep timings; the grid's own
+        # simulated-unit timings are what callers should see.
+        self.case_timings = grid_timings
+        return results
+
     # ------------------------------------------------------------------ #
     # Execution strategies
     # ------------------------------------------------------------------ #
+    def _sweep_inputs(
+        self,
+        point_config: SimConfig,
+        quick: bool,
+        scale: float,
+        num_workers: Optional[int],
+        cases: Optional[Sequence[BenchmarkCase]],
+    ):
+        """The (workers, cases, memo key) triple of one sweep request."""
+        workers = (num_workers if num_workers is not None
+                   else point_config.machine.num_cores)
+        selected = (list(cases) if cases is not None
+                    else benchmark_cases(quick, scale))
+        memo_key = (point_config, workers, tuple(selected))
+        return workers, selected, memo_key
+
     def _run_sweep(
         self,
         quick: bool,
         scale: float,
         num_workers: Optional[int],
         cases: Optional[Sequence[BenchmarkCase]],
+        config: Optional[SimConfig] = None,
     ) -> List[BenchmarkRun]:
-        workers = (num_workers if num_workers is not None
-                   else self.config.machine.num_cores)
-        selected = (list(cases) if cases is not None
-                    else benchmark_cases(quick, scale))
-        memo_key = (workers, tuple(selected))
+        config = config if config is not None else self.config
+        workers, selected, memo_key = self._sweep_inputs(
+            config, quick, scale, num_workers, cases)
         if memo_key in self._sweep_memo:
             self.case_timings = {}
             return list(self._sweep_memo[memo_key])
         timings: dict = {}
-        runs = run_cases(self.config, selected, workers, jobs=self.jobs,
+        runs = run_cases(config, selected, workers, jobs=self.jobs,
                          cache=self.cache, progress=self.progress,
                          timings=timings)
         self.case_timings = timings
@@ -159,9 +230,88 @@ class ExperimentEngine:
         self._sweep_memo[memo_key] = runs
         return list(runs)
 
+    def _prime_grid_sweeps(
+        self,
+        points: Sequence[GridPoint],
+        quick: bool,
+        scale: float,
+        cases: Optional[Sequence[BenchmarkCase]],
+        base_config: Optional[SimConfig] = None,
+    ) -> None:
+        """Batch the benchmark units of every sweep-backed grid point.
+
+        Collects the (config × case) units of every figure9-backed point
+        that is not already memoised, executes them through one
+        :func:`run_case_grid` call (one pool, shared cache), then memoises
+        the per-point run lists so :meth:`_run_point` assembly is pure
+        lookup.
+        """
+        base_config = (base_config if base_config is not None
+                       else self.config)
+        pending: List[tuple] = []  # (memo_key, config, workers, cases)
+        seen = set()
+        for point in points:
+            spec = EXPERIMENT_SPECS[point.experiment_id]
+            if point.experiment_id != "figure9" \
+                    and spec.depends_on != ("figure9",):
+                continue
+            if point.experiment_id == "scaling_curves":
+                continue  # runs its own nested grid
+            config = point.apply(base_config)
+            workers, selected, memo_key = self._sweep_inputs(
+                config, quick, scale, None, cases)
+            if memo_key in self._sweep_memo or memo_key in seen:
+                continue
+            seen.add(memo_key)
+            pending.append((memo_key, config, workers, selected))
+        if not pending:
+            # Nothing simulated: a previous sweep's timings must not be
+            # attributed to this grid.
+            self.case_timings = {}
+            return
+        units = [
+            CaseUnit(config, case, workers)
+            for _memo_key, config, workers, selected in pending
+            for case in selected
+        ]
+        timings: dict = {}
+        runs = run_case_grid(units, jobs=self.jobs, cache=self.cache,
+                             progress=self.progress, timings=timings)
+        self.case_timings = timings
+        if self.trajectory is not None:
+            self.trajectory.record_sweep("grid", timings)
+        offset = 0
+        for memo_key, _config, _workers, selected in pending:
+            self._sweep_memo[memo_key] = runs[offset:offset + len(selected)]
+            offset += len(selected)
+
+    def _run_point(
+        self,
+        point: GridPoint,
+        quick: bool,
+        scale: float,
+        num_tasks: Optional[int],
+        cases: Optional[Sequence[BenchmarkCase]],
+    ) -> object:
+        """Execute one grid point under its overridden configuration."""
+        config = point.apply(self.config)
+        experiment_id = point.experiment_id
+        spec = EXPERIMENT_SPECS[experiment_id]
+        if experiment_id == "scaling_curves":
+            return self._run_scaling(quick, scale, cases, None, None,
+                                     config=config)
+        if experiment_id == "figure9":
+            return self._run_sweep(quick, scale, None, cases, config=config)
+        if spec.is_derived:
+            return self._run_derived(experiment_id, quick, scale, None,
+                                     num_tasks, cases, config=config)
+        return self._run_simple(experiment_id, num_tasks, config=config)
+
     def _run_simple(self, experiment_id: str,
-                    num_tasks: Optional[int]) -> object:
+                    num_tasks: Optional[int],
+                    config: Optional[SimConfig] = None) -> object:
         """Self-contained experiments: run the registry runner, cached."""
+        config = config if config is not None else self.config
         runner = EXPERIMENT_SPECS[experiment_id].runner
         parameters = {}
         if experiment_id in _DEFAULT_NUM_TASKS:
@@ -171,15 +321,17 @@ class ExperimentEngine:
             )
         return self._run_cached(
             experiment_id, parameters,
-            lambda: runner(self.config, **parameters),
+            lambda: runner(config, **parameters),
+            config=config,
         )
 
     def _run_cached(self, experiment_id: str, parameters: dict,
-                    compute) -> object:
+                    compute, config: Optional[SimConfig] = None) -> object:
         """Whole-result caching for the non-sweep experiments."""
+        config = config if config is not None else self.config
         key = None
         if self.cache is not None:
-            key = experiment_cache_key(experiment_id, self.config, parameters)
+            key = experiment_cache_key(experiment_id, config, parameters)
             payload = self.cache.get(key)
             if payload is not None:
                 try:
@@ -200,8 +352,10 @@ class ExperimentEngine:
         num_workers: Optional[int],
         num_tasks: Optional[int],
         cases: Optional[Sequence[BenchmarkCase]],
+        config: Optional[SimConfig] = None,
     ) -> object:
         """Experiments computed from the Figure 9 sweep."""
+        config = config if config is not None else self.config
         spec = EXPERIMENT_SPECS[experiment_id]
         if spec.depends_on != ("figure9",):
             raise EvaluationError(
@@ -211,7 +365,8 @@ class ExperimentEngine:
         # Dependency runs go through _run_sweep directly (not self.run) so
         # they share the memo/cache without re-saving the figure9 artifact
         # once per derived experiment.
-        runs = self._run_sweep(quick, scale, num_workers, cases)
+        runs = self._run_sweep(quick, scale, num_workers, cases,
+                               config=config)
         runner = spec.runner
         if experiment_id == "figure10":
             # Figure 10 overlays the runs on the MTT bound curves, which
@@ -221,8 +376,86 @@ class ExperimentEngine:
             sizes = figure10_bound_task_sizes()
             bounds = self._run_cached(
                 "figure6", {"num_tasks": tasks, "task_sizes": sizes},
-                lambda: figure6_mtt_bounds(self.config, task_sizes=sizes,
+                lambda: figure6_mtt_bounds(config, task_sizes=sizes,
                                            num_tasks=tasks),
+                config=config,
             )
-            return runner(runs, self.config, bounds)
+            return runner(runs, config, bounds)
         return runner(runs)
+
+    def _run_scaling(
+        self,
+        quick: bool,
+        scale: float,
+        cases: Optional[Sequence[BenchmarkCase]],
+        core_counts: Optional[Sequence[int]],
+        runtimes: Optional[Sequence[str]],
+        config: Optional[SimConfig] = None,
+    ) -> object:
+        """The scaling-curve grid: every case at every core count.
+
+        Fans the (case × core count) product through the shared pool/cache
+        via :meth:`run_grid` machinery, measures (and caches) the
+        single-worker lifetime overheads behind the MTT bounds, and
+        assembles :class:`~repro.eval.scaling.ScalingCurve` records.
+        """
+        config = config if config is not None else self.config
+        counts = normalize_core_counts(core_counts)
+        selected_runtimes = normalize_runtimes(runtimes)
+        # Whole-result caching under a grid-aware key: a warm re-run skips
+        # even the per-case lookups and the bound-overhead measurements.
+        key = None
+        if self.cache is not None:
+            key = grid_cache_key(
+                "scaling_curves", config,
+                [{"num_cores": count} for count in counts],
+                {
+                    "quick": quick,
+                    "scale": scale,
+                    "runtimes": selected_runtimes,
+                    "cases": None if cases is None else [
+                        {"benchmark": case.benchmark, "label": case.label,
+                         "builder": case.builder, "params": case.params}
+                        for case in cases
+                    ],
+                },
+            )
+            payload = self.cache.get(key)
+            if payload is not None:
+                try:
+                    curves = decode(payload)
+                except (EvaluationError, KeyError, TypeError, ValueError):
+                    curves = None
+                if isinstance(curves, list) and all(
+                        isinstance(curve, ScalingCurve) for curve in curves):
+                    return curves
+                self.cache.demote_hit(key)
+        grid = SweepGrid.cores(("figure9",), counts)
+        points = grid.points()
+        self._prime_grid_sweeps(points, quick, scale, cases,
+                                base_config=config)
+        grid_timings = dict(self.case_timings)
+        runs_by_cores: Dict[int, List[BenchmarkRun]] = {}
+        for point in points:
+            point_config = point.apply(config)
+            cores = point_config.machine.num_cores
+            runs_by_cores[cores] = self._run_sweep(
+                quick, scale, None, cases, config=point_config)
+        self.case_timings = grid_timings
+        overheads = {
+            runtime: self._run_cached(
+                f"scaling-overhead-{runtime}",
+                {"workload": "task-chain", "dependences": 1,
+                 "num_tasks": DEFAULT_OVERHEAD_NUM_TASKS},
+                lambda runtime=runtime: measure_lifetime_overhead(
+                    runtime, "task-chain", 1, DEFAULT_OVERHEAD_NUM_TASKS,
+                    config),
+                config=config,
+            )
+            for runtime in selected_runtimes
+        }
+        curves = build_scaling_curves(runs_by_cores, overheads,
+                                      selected_runtimes)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, encode(curves), experiment="scaling_curves")
+        return curves

@@ -1,18 +1,28 @@
 """Parallel execution of benchmark cases with cached, deterministic results.
 
-The runner fans the Figure 9 cases out over a ``concurrent.futures`` process
-pool.  Each case is executed by the same case-level hook the serial path
-uses (:func:`repro.eval.experiments.run_benchmark_case`), in a fresh worker
+The runner fans benchmark work out over a ``concurrent.futures`` process
+pool.  The unit of work is one :class:`CaseUnit` — a benchmark case under
+one configuration and simulated worker count — executed by the same
+case-level hook the serial path uses
+(:func:`repro.eval.experiments.run_benchmark_case`), in a fresh worker
 process with its own simulator state, so parallel results are identical to
 serial ones.  Assembly is order-independent: results land in a slot indexed
-by the case's position in the input list, whatever order workers finish in.
+by the unit's position in the input list, whatever order workers finish in.
 
-When a :class:`~repro.harness.cache.ResultCache` is supplied, each case is
+:func:`run_cases` is the classic single-configuration sweep (all of
+Figure 9); :func:`run_case_grid` executes a heterogeneous unit list — the
+same cases under many configurations, e.g. the (case × core count) product
+of a scaling sweep — through one shared pool, so a grid's wall clock is
+bounded by total work, not by its slowest column.
+
+When a :class:`~repro.harness.cache.ResultCache` is supplied, each unit is
 looked up before any work is scheduled and stored (JSON-encoded) as soon as
-it completes, so overlapping sweeps and re-runs only simulate the cases they
-have never seen.
+it completes, so overlapping sweeps and re-runs only simulate the units they
+have never seen.  Cache keys canonicalise the worker count into the config
+(:func:`repro.harness.hashing.case_cache_key`) and never include host
+execution knobs, so the ``jobs`` fan-out cannot cause spurious misses.
 
-Every executed (non-cached) case is timed where it runs — inside the worker
+Every executed (non-cached) unit is timed where it runs — inside the worker
 process for parallel sweeps — and the wall-clock seconds are reported back
 through the optional ``timings`` mapping, which the experiment engine feeds
 into the ``BENCH_engine.json`` perf trajectory
@@ -23,6 +33,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SimConfig
@@ -37,7 +48,21 @@ from repro.harness.cache import ResultCache
 from repro.harness.hashing import case_cache_key
 from repro.harness.progress import NullProgress, Progress
 
-__all__ = ["run_cases"]
+__all__ = ["CaseUnit", "run_cases", "run_case_grid"]
+
+
+@dataclass(frozen=True)
+class CaseUnit:
+    """One schedulable unit: a case under one config and worker count."""
+
+    config: SimConfig
+    case: BenchmarkCase
+    num_workers: int
+
+    @property
+    def key(self) -> str:
+        """Display/timing key, e.g. ``blackscholes/4K B8@8w``."""
+        return f"{self.case.key}@{self.num_workers}w"
 
 
 def _execute_case(config: SimConfig, case: BenchmarkCase,
@@ -69,6 +94,65 @@ def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
     return run
 
 
+def _run_units(
+    units: Sequence[CaseUnit],
+    timing_keys: Sequence[str],
+    jobs: int,
+    cache: Optional[ResultCache],
+    progress: Optional[Progress],
+    timings: Optional[Dict[str, float]],
+    title: str,
+) -> List[BenchmarkRun]:
+    """Execute ``units`` and return their runs in input order."""
+    if jobs <= 0:
+        raise EvaluationError("jobs must be positive")
+    progress = progress if progress is not None else NullProgress()
+    progress.start(title, len(units))
+
+    results: List[Optional[BenchmarkRun]] = [None] * len(units)
+    pending = []  # (slot, unit, cache key)
+    for slot, unit in enumerate(units):
+        key = None
+        if cache is not None:
+            key = case_cache_key(unit.case, unit.config, unit.num_workers)
+            run = _decode_cached_run(cache, key)
+            if run is not None:
+                results[slot] = run
+                progress.advance(timing_keys[slot], cached=True)
+                continue
+        pending.append((slot, unit, key))
+
+    def record(slot: int, unit: CaseUnit, key: Optional[str],
+               run: BenchmarkRun, seconds: float) -> None:
+        results[slot] = run
+        if cache is not None and key is not None:
+            cache.put(key, encode(run), case=unit.case.key,
+                      num_workers=unit.num_workers)
+        if timings is not None:
+            timings[timing_keys[slot]] = seconds
+        progress.advance(timing_keys[slot])
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_case, unit.config, unit.case,
+                            unit.num_workers): (slot, unit, key)
+                for slot, unit, key in pending
+            }
+            for future in as_completed(futures):
+                slot, unit, key = futures[future]
+                run, seconds = future.result()
+                record(slot, unit, key, run, seconds)
+    else:
+        for slot, unit, key in pending:
+            run, seconds = _execute_case(unit.config, unit.case,
+                                         unit.num_workers)
+            record(slot, unit, key, run, seconds)
+
+    progress.finish()
+    return [run for run in results if run is not None]
+
+
 def run_cases(
     config: SimConfig,
     cases: Sequence[BenchmarkCase],
@@ -78,7 +162,7 @@ def run_cases(
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
 ) -> List[BenchmarkRun]:
-    """Execute ``cases`` and return their runs in input order.
+    """Execute ``cases`` under one config; runs come back in input order.
 
     ``num_workers`` is the number of *simulated* cores each non-serial
     runtime uses; ``jobs`` is the number of *host* processes the sweep fans
@@ -88,48 +172,25 @@ def run_cases(
     wall-clock seconds of every case that was actually simulated (keyed by
     ``case.key``); cache hits cost no simulation and are not recorded.
     """
-    if jobs <= 0:
-        raise EvaluationError("jobs must be positive")
-    progress = progress if progress is not None else NullProgress()
-    progress.start("benchmark sweep", len(cases))
+    units = [CaseUnit(config, case, num_workers) for case in cases]
+    return _run_units(units, [case.key for case in cases], jobs, cache,
+                      progress, timings, "benchmark sweep")
 
-    results: List[Optional[BenchmarkRun]] = [None] * len(cases)
-    pending = []  # (slot, case, cache key)
-    for slot, case in enumerate(cases):
-        key = None
-        if cache is not None:
-            key = case_cache_key(case, config, num_workers)
-            run = _decode_cached_run(cache, key)
-            if run is not None:
-                results[slot] = run
-                progress.advance(case.key, cached=True)
-                continue
-        pending.append((slot, case, key))
 
-    def record(slot: int, case: BenchmarkCase, key: Optional[str],
-               run: BenchmarkRun, seconds: float) -> None:
-        results[slot] = run
-        if cache is not None and key is not None:
-            cache.put(key, encode(run), case=case.key)
-        if timings is not None:
-            timings[case.key] = seconds
-        progress.advance(case.key)
+def run_case_grid(
+    units: Sequence[CaseUnit],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Progress] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> List[BenchmarkRun]:
+    """Execute a heterogeneous unit list; runs come back in input order.
 
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_case, config, case, num_workers):
-                    (slot, case, key)
-                for slot, case, key in pending
-            }
-            for future in as_completed(futures):
-                slot, case, key = futures[future]
-                run, seconds = future.result()
-                record(slot, case, key, run, seconds)
-    else:
-        for slot, case, key in pending:
-            run, seconds = _execute_case(config, case, num_workers)
-            record(slot, case, key, run, seconds)
-
-    progress.finish()
-    return [run for run in results if run is not None]
+    This is the grid-sweep entry point: units may mix configurations and
+    worker counts freely (e.g. every Figure 9 case at 1, 2, 4, ... cores)
+    and all of them share one process pool, so total wall clock tracks
+    total work.  ``timings`` keys carry the worker count
+    (``case.key@Nw``) to keep grid columns distinguishable.
+    """
+    return _run_units(list(units), [unit.key for unit in units], jobs,
+                      cache, progress, timings, "grid sweep")

@@ -1,0 +1,148 @@
+"""Grid sweeps: (experiment × config-override) products for the harness.
+
+The paper evaluates one machine; the harness treats that as the degenerate
+1×1 grid.  A :class:`SweepGrid` is the cartesian product of experiment
+identifiers and configuration overrides — each :class:`GridPoint` names one
+experiment to run under one overridden :class:`~repro.common.config.SimConfig`.
+:meth:`ExperimentEngine.run_grid <repro.harness.engine.ExperimentEngine.run_grid>`
+executes a grid end to end: all benchmark-sweep work across every point is
+fanned out through *one* process pool and the shared result cache, so grid
+columns that coincide with previous runs (e.g. the 8-core column of a
+scaling sweep after a Figure 9 run) are pure cache hits.
+
+Overrides are plain ``{field: value}`` mappings resolved against
+:class:`~repro.common.config.MachineConfig` first and the top-level
+:class:`SimConfig` second (``{"num_cores": 16}`` rebuilds the machine;
+``{"max_cycles": 10**9}`` adjusts the engine horizon), so any frozen
+configuration knob is sweepable without new plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping, Sequence, Tuple
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import EvaluationError
+from repro.eval.experiments import EXPERIMENT_SPECS
+
+__all__ = ["GridPoint", "GridResult", "SweepGrid", "apply_overrides"]
+
+_MACHINE_FIELDS = {spec.name for spec in dataclasses.fields(MachineConfig)}
+_SIMCONFIG_FIELDS = {spec.name for spec in dataclasses.fields(SimConfig)
+                     if spec.name != "machine"}
+
+
+def apply_overrides(config: SimConfig,
+                    overrides: Mapping[str, object]) -> SimConfig:
+    """Return ``config`` with every override applied.
+
+    Keys resolve against :class:`MachineConfig` first, then the top-level
+    :class:`SimConfig`; unknown keys raise :class:`EvaluationError` (the
+    frozen dataclasses would otherwise silently accept nothing).
+    """
+    machine_updates = {}
+    config_updates = {}
+    for key, value in overrides.items():
+        if key in _MACHINE_FIELDS:
+            machine_updates[key] = value
+        elif key in _SIMCONFIG_FIELDS:
+            config_updates[key] = value
+        else:
+            raise EvaluationError(
+                f"unknown config override {key!r}; expected a MachineConfig "
+                f"field ({sorted(_MACHINE_FIELDS)}) or a SimConfig field "
+                f"({sorted(_SIMCONFIG_FIELDS)})"
+            )
+    if machine_updates:
+        config_updates["machine"] = dataclasses.replace(
+            config.machine, **machine_updates)
+    return dataclasses.replace(config, **config_updates) \
+        if config_updates else config
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of a sweep grid: an experiment under a config override.
+
+    ``overrides`` is stored as a sorted tuple of pairs so points stay
+    hashable and deterministically fingerprintable, exactly like
+    :class:`~repro.eval.experiments.BenchmarkCase` parameters.
+    """
+
+    experiment_id: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Stable display name, e.g. ``figure9[num_cores=16]``."""
+        if not self.overrides:
+            return self.experiment_id
+        rendered = ",".join(f"{key}={value}"
+                            for key, value in self.overrides)
+        return f"{self.experiment_id}[{rendered}]"
+
+    def apply(self, config: SimConfig) -> SimConfig:
+        """The effective configuration of this grid point."""
+        return apply_overrides(config, dict(self.overrides))
+
+
+@dataclass
+class GridResult:
+    """The outcome of one grid point (whatever its runner returned)."""
+
+    point: GridPoint
+    result: object
+
+
+class SweepGrid:
+    """The cartesian product of experiments and config overrides."""
+
+    def __init__(self, experiments: Sequence[str],
+                 overrides: Sequence[Mapping[str, object]] = ({},)) -> None:
+        """Build a grid from experiment ids and override mappings.
+
+        ``overrides`` defaults to the single empty override (a plain run of
+        each experiment); every experiment id must exist in the registry.
+        """
+        self.experiments = tuple(experiments)
+        if not self.experiments:
+            raise EvaluationError("SweepGrid needs at least one experiment")
+        unknown = [name for name in self.experiments
+                   if name not in EXPERIMENT_SPECS]
+        if unknown:
+            raise EvaluationError(
+                f"unknown experiments {unknown!r}; expected a subset of "
+                f"{sorted(EXPERIMENT_SPECS)}"
+            )
+        materialised = [dict(override) for override in overrides]
+        if not materialised:
+            raise EvaluationError("SweepGrid needs at least one override")
+        self.overrides: Tuple[dict, ...] = tuple(materialised)
+
+    @classmethod
+    def cores(cls, experiments: Sequence[str],
+              core_counts: Sequence[int]) -> "SweepGrid":
+        """A grid sweeping ``experiments`` over simulated core counts."""
+        return cls(experiments,
+                   [{"num_cores": count} for count in core_counts])
+
+    def points(self) -> List[GridPoint]:
+        """Every (experiment, override) cell, experiments varying slowest."""
+        return [
+            GridPoint(experiment_id,
+                      tuple(sorted(override.items())))
+            for experiment_id in self.experiments
+            for override in self.overrides
+        ]
+
+    def __iter__(self) -> Iterator[GridPoint]:
+        return iter(self.points())
+
+    def __len__(self) -> int:
+        return len(self.experiments) * len(self.overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SweepGrid(experiments={self.experiments!r}, "
+                f"overrides={list(self.overrides)!r})")

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Regenerate ``engine_traces.json``, the golden traces of the engine tests.
+
+Each scenario in :data:`SCENARIOS` spawns a small process mix, runs the
+engine to completion (or to a deadlock) and records the full event trace,
+the final simulation time, the collected outcome summary and — for the
+deadlock scenarios — the exact error message.  ``tests/test_engine_fastpath.py``
+replays the same scenarios on the current engine and asserts identical
+observable behaviour.
+
+The committed ``engine_traces.json`` was recorded from the legacy
+one-pop-per-event loop (``Engine(slow=True)``, removed after its final
+release) at the commit that retired it, so the golden file *is* the legacy
+loop's behaviour: the differential tests survive the loop's removal.
+
+Usage (only needed when a scenario is added)::
+
+    PYTHONPATH=src python tests/data/record_engine_traces.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.common.errors import DeadlockError
+from repro.sim.engine import Delay, Engine, Fork, Get, Join, Put, Wait
+from repro.sim.queues import DecoupledQueue
+
+TRACES_PATH = Path(__file__).resolve().parent / "engine_traces.json"
+
+
+def scenario_same_cycle_ordering(engine):
+    order = []
+
+    def proc(name, delays):
+        for d in delays:
+            yield Delay(d)
+            order.append((engine.now, name))
+        return name
+
+    engine.spawn(proc("a", [0, 0, 1, 0]), name="a")
+    engine.spawn(proc("b", [0, 1, 0, 0]), name="b")
+    engine.spawn(proc("c", [1, 0, 0, 1]), name="c")
+    return order
+
+
+def scenario_zero_cycle_delay_chain(engine):
+    order = []
+
+    def spinner(name, spins):
+        for i in range(spins):
+            yield Delay(0)
+            order.append((engine.now, name, i))
+
+    engine.spawn(spinner("x", 3), name="x")
+    engine.spawn(spinner("y", 5), name="y")
+    return order
+
+
+def scenario_fork_join_same_timestamps(engine):
+    results = []
+
+    def child(n):
+        yield Delay(n)
+        return n * 10
+
+    def parent(name):
+        first = yield Fork(child(2), f"{name}.c2")
+        second = yield Fork(child(2), f"{name}.c2b")
+        third = yield Fork(child(0), f"{name}.c0")
+        a = yield Join(first)
+        b = yield Join(second)
+        c = yield Join(third)
+        results.append((engine.now, name, a + b + c))
+        return a + b + c
+
+    engine.spawn(parent("p"), name="p")
+    engine.spawn(parent("q"), name="q")
+    return results
+
+
+def scenario_queue_contention(engine):
+    seen = []
+    queue = DecoupledQueue(engine, 2, name="contended")
+
+    def producer(name, items):
+        for i in range(items):
+            yield Put(queue, (name, i))
+        return name
+
+    def consumer(name, items):
+        for _ in range(items):
+            item = yield Get(queue)
+            seen.append((engine.now, name, item))
+            yield Delay(1)
+
+    engine.spawn(producer("p1", 4), name="p1")
+    engine.spawn(producer("p2", 4), name="p2")
+    engine.spawn(consumer("c1", 5), name="c1")
+    engine.spawn(consumer("c2", 3), name="c2")
+    return seen
+
+
+def scenario_event_trigger_wake_order(engine):
+    woken = []
+    event = engine.event("gate")
+
+    def waiter(name):
+        value = yield Wait(event)
+        woken.append((engine.now, name, value))
+
+    for i in range(5):
+        engine.spawn(waiter(f"w{i}"), name=f"w{i}")
+
+    def trigger():
+        yield Delay(3)
+        event.trigger("go")
+
+    engine.spawn(trigger(), name="t")
+    return woken
+
+
+def scenario_deadlock_report_order(engine):
+    def stuck_after(cycles):
+        yield Delay(cycles)
+        yield Wait(engine.event())
+
+    engine.spawn(stuck_after(8), name="w8")
+    engine.spawn(stuck_after(2), name="w2")
+    engine.spawn(stuck_after(8), name="w8b")
+    return None
+
+
+#: scenario name -> (builder, expects_deadlock)
+SCENARIOS = {
+    "same_cycle_ordering": (scenario_same_cycle_ordering, False),
+    "zero_cycle_delay_chain": (scenario_zero_cycle_delay_chain, False),
+    "fork_join_same_timestamps": (scenario_fork_join_same_timestamps, False),
+    "queue_contention": (scenario_queue_contention, False),
+    "event_trigger_wake_order": (scenario_event_trigger_wake_order, False),
+    "deadlock_report_order": (scenario_deadlock_report_order, True),
+}
+
+
+def _jsonable(value):
+    """Tuples become lists so recorded and replayed outcomes compare equal."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def record_scenario(name, engine_kwargs=None):
+    """Run one scenario and return its observable behaviour as JSON data."""
+    builder, expects_deadlock = SCENARIOS[name]
+    engine = Engine(trace=True, **(engine_kwargs or {}))
+    outcome = builder(engine)
+    error = None
+    if expects_deadlock:
+        try:
+            engine.run()
+        except DeadlockError as exc:
+            error = str(exc)
+    else:
+        engine.run()
+    return {
+        "trace": engine.trace_log,
+        "now": engine.now,
+        "outcome": _jsonable(outcome),
+        "error": error,
+    }
+
+
+def main() -> int:
+    recorded = {name: record_scenario(name) for name in SCENARIOS}
+    TRACES_PATH.write_text(
+        json.dumps({"schema": 1, "scenarios": recorded},
+                   indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"recorded {len(recorded)} scenarios into {TRACES_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,10 +32,6 @@ class TestMeasureSynthetic:
         assert result["seconds"] > 0
         assert result["events_per_sec"] > 0
 
-    def test_slow_loop_also_measures(self):
-        result = measure_synthetic(5_000, slow=True)
-        assert result["events_per_sec"] > 0
-
     def test_rejects_non_positive_event_count(self):
         from repro.common.errors import EvaluationError
         with pytest.raises(EvaluationError):
@@ -52,22 +48,14 @@ class TestMeasureCase:
 
 class TestRunEngineBench:
     def test_entry_shape(self):
-        entry = run_engine_bench(num_events=5_000, include_case=False,
-                                 compare_slow=True)
+        entry = run_engine_bench(num_events=5_000, include_case=False)
         assert entry["kind"] == "microbench"
         assert entry["version"]
         synthetic = entry["synthetic"]
         assert synthetic["events_per_sec"] > 0
-        assert synthetic["slow_events_per_sec"] > 0
-        assert synthetic["speedup_vs_slow"] == pytest.approx(
-            synthetic["events_per_sec"] / synthetic["slow_events_per_sec"]
-        )
+        assert synthetic["num_events"] > 0
+        assert synthetic["repeats"] == 3
         assert "figure9_case" not in entry
-
-    def test_skipping_slow_comparison(self):
-        entry = run_engine_bench(num_events=5_000, include_case=False,
-                                 compare_slow=False)
-        assert "slow_events_per_sec" not in entry["synthetic"]
 
 
 class TestPerfTrajectory:
@@ -89,13 +77,62 @@ class TestPerfTrajectory:
         assert document["schema"] == 1
         assert len(document["entries"]) == 1
 
-    def test_corrupt_file_is_treated_as_empty(self, tmp_path):
+    def test_corrupt_file_warns_and_reseeds(self, tmp_path):
         path = tmp_path / "BENCH_engine.json"
         path.write_text("{not json")
         trajectory = PerfTrajectory(path)
-        assert trajectory.entries() == []
-        trajectory.append({"kind": "microbench", "n": 1})
+        with pytest.warns(UserWarning, match="re-seeding"):
+            assert trajectory.entries() == []
+        with pytest.warns(UserWarning, match="re-seeding"):
+            trajectory.append({"kind": "microbench", "n": 1})
+        # Re-seeded: the document is healthy again, no further warning.
+        assert trajectory.entries() == [{"kind": "microbench", "n": 1}]
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_empty_file_warns_and_reseeds(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text("")
+        trajectory = PerfTrajectory(path)
+        with pytest.warns(UserWarning, match="empty"):
+            assert trajectory.entries() == []
+        with pytest.warns(UserWarning):
+            trajectory.append({"kind": "sweep", "n": 1})
         assert len(trajectory.entries()) == 1
+
+    def test_truncated_document_warns_and_recovers(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        healthy = PerfTrajectory(path)
+        healthy.append({"kind": "microbench", "n": 1})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # simulate a torn write
+        with pytest.warns(UserWarning, match="truncated"):
+            assert PerfTrajectory(path).entries() == []
+
+    def test_malformed_entries_are_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(
+            {"schema": 1,
+             "entries": [{"kind": "microbench", "n": 1}, "junk", 7]}
+        ))
+        trajectory = PerfTrajectory(path)
+        with pytest.warns(UserWarning, match="malformed"):
+            entries = trajectory.entries()
+        assert entries == [{"kind": "microbench", "n": 1}]
+        with pytest.warns(UserWarning):
+            assert trajectory.last()["n"] == 1
+
+    def test_entries_not_a_list_warns(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({"schema": 1, "entries": "oops"}))
+        with pytest.warns(UserWarning, match="not a list"):
+            assert PerfTrajectory(path).entries() == []
+
+    def test_missing_file_does_not_warn(self, tmp_path, recwarn):
+        trajectory = PerfTrajectory(tmp_path / "BENCH_engine.json")
+        assert trajectory.entries() == []
+        assert trajectory.last() is None
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, UserWarning)]
 
     def test_record_sweep_skips_empty_timings(self, tmp_path):
         trajectory = PerfTrajectory(tmp_path / "BENCH_engine.json")
@@ -164,7 +201,7 @@ class TestBenchCli:
         assert entries[0]["kind"] == "microbench"
 
     def test_bench_subcommand_json_format(self, tmp_path, capsys):
-        code = main(["bench", "--events", "2000", "--no-case", "--no-slow",
+        code = main(["bench", "--events", "2000", "--no-case",
                      "--format", "json", "--output", "-"])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
@@ -174,7 +211,7 @@ class TestBenchCli:
             self, tmp_path, capsys):
         """--format json must emit pure JSON even while appending a file."""
         output = tmp_path / "BENCH_engine.json"
-        code = main(["bench", "--events", "2000", "--no-case", "--no-slow",
+        code = main(["bench", "--events", "2000", "--no-case",
                      "--format", "json", "--output", str(output)])
         assert code == 0
         captured = capsys.readouterr()
@@ -191,7 +228,7 @@ class TestBenchCli:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         output = tmp_path / "BENCH_engine.json"
-        code = module.main(["--events", "2000", "--no-case", "--no-slow",
+        code = module.main(["--events", "2000", "--no-case",
                             "--output", str(output)])
         assert code == 0
         assert len(PerfTrajectory(output).entries()) == 1

@@ -1,174 +1,67 @@
-"""Differential tests: batched fast path vs the legacy engine loop.
+"""Differential tests: the engine loop versus recorded golden traces.
 
-The fast path batches same-timestamp heap pops, routes zero-delay wake-ups
-through a same-cycle bucket, interns Delay commands and dispatches through
-a handler table.  None of that may change observable behaviour, so every
-scenario here runs twice — ``Engine(slow=False)`` and ``Engine(slow=True)``
-(the pre-fast-path loop kept behind ``REPRO_ENGINE_SLOW=1``) — and asserts
-identical traces, results and final times.
+The batched run loop batches same-timestamp heap pops, routes zero-delay
+wake-ups through a same-cycle bucket, interns Delay commands and dispatches
+through a handler table.  None of that may change observable behaviour, so
+every scenario here is replayed against the golden traces in
+``tests/data/engine_traces.json`` — recorded from the legacy
+one-pop-per-event loop (``Engine(slow=True)``) at the commit that removed
+it — and must reproduce the identical event trace, final time, outcome
+summary and (for the deadlock scenarios) error message.
+
+``tests/data/record_engine_traces.py`` regenerates the golden file when a
+scenario is added; the scenarios themselves live there so the recorder and
+the tests cannot drift apart.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.common.errors import DeadlockError, SimulationError
-from repro.sim.engine import (
-    Delay,
-    Engine,
-    Fork,
-    Get,
-    Join,
-    Put,
-    Wait,
-)
+from repro.common.errors import SimulationError
+from repro.sim.engine import Delay, Engine, Get
 from repro.sim.queues import DecoupledQueue
 
-
-def run_both(build):
-    """Run ``build(engine)`` on the fast and the legacy engine.
-
-    ``build`` spawns processes on the engine and returns a picklable-ish
-    summary object (collected via closures); the helper returns both
-    engines and both summaries after running each engine to completion.
-    """
-    outcomes = []
-    engines = []
-    for slow in (False, True):
-        engine = Engine(trace=True, slow=slow)
-        summary = build(engine)
-        engine.run()
-        engines.append(engine)
-        outcomes.append(summary)
-    return engines, outcomes
+from tests.data.record_engine_traces import (
+    SCENARIOS,
+    TRACES_PATH,
+    record_scenario,
+)
 
 
-def assert_identical(engines, outcomes):
-    fast, slow = engines
-    assert fast.trace_log == slow.trace_log
-    assert fast.now == slow.now
-    assert outcomes[0] == outcomes[1]
+def _golden():
+    document = json.loads(Path(TRACES_PATH).read_text(encoding="utf-8"))
+    assert document["schema"] == 1
+    return document["scenarios"]
 
 
-def test_same_cycle_event_ordering_matches_legacy_loop():
-    """Many processes active in the same cycle wake in identical order."""
-
-    def build(engine):
-        order = []
-
-        def proc(name, delays):
-            for d in delays:
-                yield Delay(d)
-                order.append((engine.now, name))
-            return name
-
-        engine.spawn(proc("a", [0, 0, 1, 0]), name="a")
-        engine.spawn(proc("b", [0, 1, 0, 0]), name="b")
-        engine.spawn(proc("c", [1, 0, 0, 1]), name="c")
-        return order
-
-    engines, outcomes = run_both(build)
-    assert_identical(engines, outcomes)
+GOLDEN = _golden()
 
 
-def test_zero_cycle_delay_chain_matches_legacy_loop():
-    """Zero-cycle delays re-enter the current cycle in FIFO order."""
-
-    def build(engine):
-        order = []
-
-        def spinner(name, spins):
-            for i in range(spins):
-                yield Delay(0)
-                order.append((engine.now, name, i))
-
-        engine.spawn(spinner("x", 3), name="x")
-        engine.spawn(spinner("y", 5), name="y")
-        return order
-
-    engines, outcomes = run_both(build)
-    assert_identical(engines, outcomes)
-    # Everything happened at cycle zero.
-    assert engines[0].now == 0
+def test_golden_file_covers_every_scenario():
+    assert sorted(GOLDEN) == sorted(SCENARIOS)
 
 
-def test_fork_join_at_identical_timestamps_matches_legacy_loop():
-    """Forks and joins landing in the same cycle keep their ordering."""
-
-    def build(engine):
-        results = []
-
-        def child(n):
-            yield Delay(n)
-            return n * 10
-
-        def parent(name):
-            first = yield Fork(child(2), f"{name}.c2")
-            second = yield Fork(child(2), f"{name}.c2b")
-            third = yield Fork(child(0), f"{name}.c0")
-            a = yield Join(first)
-            b = yield Join(second)
-            c = yield Join(third)
-            results.append((engine.now, name, a + b + c))
-            return a + b + c
-
-        engine.spawn(parent("p"), name="p")
-        engine.spawn(parent("q"), name="q")
-        return results
-
-    engines, outcomes = run_both(build)
-    assert_identical(engines, outcomes)
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_matches_recorded_legacy_trace(name):
+    """Trace, final time, outcome and error all match the golden record."""
+    replayed = record_scenario(name)
+    expected = GOLDEN[name]
+    assert replayed["trace"] == expected["trace"]
+    assert replayed["now"] == expected["now"]
+    assert replayed["outcome"] == expected["outcome"]
+    assert replayed["error"] == expected["error"]
 
 
-def test_queue_contention_matches_legacy_loop():
-    """Blocked putters/getters wake identically under both loops."""
-
-    def build(engine):
-        seen = []
-        queue = DecoupledQueue(engine, 2, name="contended")
-
-        def producer(name, items):
-            for i in range(items):
-                yield Put(queue, (name, i))
-            return name
-
-        def consumer(name, items):
-            for _ in range(items):
-                item = yield Get(queue)
-                seen.append((engine.now, name, item))
-                yield Delay(1)
-
-        engine.spawn(producer("p1", 4), name="p1")
-        engine.spawn(producer("p2", 4), name="p2")
-        engine.spawn(consumer("c1", 5), name="c1")
-        engine.spawn(consumer("c2", 3), name="c2")
-        return seen
-
-    engines, outcomes = run_both(build)
-    assert_identical(engines, outcomes)
-
-
-def test_event_trigger_wakes_waiters_in_same_order():
-    def build(engine):
-        woken = []
-        event = engine.event("gate")
-
-        def waiter(name):
-            value = yield Wait(event)
-            woken.append((engine.now, name, value))
-
-        for i in range(5):
-            engine.spawn(waiter(f"w{i}"), name=f"w{i}")
-
-        def trigger():
-            yield Delay(3)
-            event.trigger("go")
-
-        engine.spawn(trigger(), name="t")
-        return woken
-
-    engines, outcomes = run_both(build)
-    assert_identical(engines, outcomes)
+def test_deadlock_message_content():
+    """The recorded deadlock lists waiters in (blocked cycle, pid) order."""
+    message = GOLDEN["deadlock_report_order"]["error"]
+    assert message is not None
+    positions = [message.index(name) for name in ("w2", "w8", "w8b")]
+    assert positions == sorted(positions)
 
 
 def test_run_until_pauses_and_resumes_like_run():
@@ -192,18 +85,6 @@ def test_run_until_rejects_negative_cycle():
         Engine().run_until(-1)
 
 
-def test_slow_env_guard_selects_legacy_loop(monkeypatch):
-    monkeypatch.setenv("REPRO_ENGINE_SLOW", "1")
-    assert Engine()._slow is True
-    monkeypatch.setenv("REPRO_ENGINE_SLOW", "0")
-    assert Engine()._slow is False
-    monkeypatch.delenv("REPRO_ENGINE_SLOW")
-    assert Engine()._slow is False
-    # The explicit argument wins over the environment.
-    monkeypatch.setenv("REPRO_ENGINE_SLOW", "1")
-    assert Engine(slow=False)._slow is False
-
-
 def test_delay_interning_and_value_semantics():
     assert Delay(1) is Delay(1)
     assert Delay(0) is Delay(0)
@@ -221,6 +102,9 @@ def test_delay_interning_and_value_semantics():
 
 def test_deadlock_report_lists_waiters_in_cycle_pid_order():
     """The deadlock message orders waiters by (blocked cycle, pid)."""
+    from repro.common.errors import DeadlockError
+    from repro.sim.engine import Wait
+
     engine = Engine()
 
     def stuck_after(cycles):
@@ -239,24 +123,6 @@ def test_deadlock_report_lists_waiters_in_cycle_pid_order():
                  ("early_a", "early_b", "late")]
     assert positions == sorted(positions)
     assert "3 process(es) blocked" in message
-
-
-def test_deadlock_report_order_is_stable_across_loops():
-    def build_and_fail(slow):
-        engine = Engine(slow=slow)
-
-        def stuck_after(cycles):
-            yield Delay(cycles)
-            yield Wait(engine.event())
-
-        engine.spawn(stuck_after(8), name="w8")
-        engine.spawn(stuck_after(2), name="w2")
-        engine.spawn(stuck_after(8), name="w8b")
-        with pytest.raises(DeadlockError) as excinfo:
-            engine.run()
-        return str(excinfo.value)
-
-    assert build_and_fail(False) == build_and_fail(True)
 
 
 def test_schedule_callback_zero_delay_runs_this_cycle():

@@ -80,6 +80,17 @@ class TestHashing:
         assert (case_cache_key(case, config, 8, version="1.0.0")
                 != case_cache_key(case, config, 8, version="1.0.1"))
 
+    def test_worker_count_is_canonicalised_into_config(self, tiny_cases):
+        # (8-core config, 4 workers) simulates the same machine as
+        # (4-core config, 4 workers): Runtime.build_soc rebuilds the SoC
+        # with the worker count, so the two must share one cache entry.
+        case = tiny_cases[0]
+        assert (case_cache_key(case, SimConfig(), 4)
+                == case_cache_key(case, SimConfig().with_cores(4), 4))
+        # Omitting num_workers defaults to the config's core count.
+        assert (case_cache_key(case, SimConfig())
+                == case_cache_key(case, SimConfig(), 8))
+
     def test_experiment_key_depends_on_parameters(self):
         config = SimConfig()
         assert (experiment_cache_key("figure7", config, {"num_tasks": 60})
@@ -202,10 +213,11 @@ class TestExperimentRegistry:
     def test_registry_is_complete(self):
         assert set(EXPERIMENTS) == {"figure6", "figure7", "figure8",
                                     "figure9", "figure10", "table2",
-                                    "headline"}
+                                    "headline", "scaling_curves"}
 
     def test_derived_experiments_declare_figure9_dependency(self):
-        for experiment_id in ("figure8", "figure10", "headline"):
+        for experiment_id in ("figure8", "figure10", "headline",
+                              "scaling_curves"):
             spec = EXPERIMENT_SPECS[experiment_id]
             assert spec.depends_on == ("figure9",)
             assert spec.is_derived
@@ -244,11 +256,33 @@ class TestEngine:
                                              tiny_cases):
         engine = ExperimentEngine(config=tiny_config, cache_dir=tmp_path)
         engine.run("figure9", cases=tiny_cases, num_workers=4)
-        other = ExperimentEngine(config=tiny_config.with_cores(2),
-                                 cache_dir=tmp_path)
+        slower = dataclasses.replace(
+            tiny_config, costs=dataclasses.replace(
+                tiny_config.costs, memory=dataclasses.replace(
+                    tiny_config.costs.memory, l1_hit=3
+                )
+            )
+        )
+        other = ExperimentEngine(config=slower, cache_dir=tmp_path)
         other.run("figure9", cases=tiny_cases[:1], num_workers=4)
         assert other.cache_stats.hits == 0
         assert other.cache_stats.misses == 1
+
+    def test_equivalent_core_count_is_served_from_cache(self, tmp_path,
+                                                        tiny_config,
+                                                        tiny_cases):
+        # The worker count overrides the machine width, so a 2-core config
+        # swept at 4 workers describes the same simulation as the 4-core
+        # config: the canonicalised key must hit, not recompute.
+        engine = ExperimentEngine(config=tiny_config, cache_dir=tmp_path)
+        engine.run("figure9", cases=tiny_cases, num_workers=4)
+        other = ExperimentEngine(config=tiny_config.with_cores(2),
+                                 cache_dir=tmp_path)
+        runs = other.run("figure9", cases=tiny_cases, num_workers=4)
+        assert other.cache_stats.hits == len(tiny_cases)
+        assert other.cache_stats.misses == 0
+        assert [run.case.key for run in runs] == \
+            [case.key for case in tiny_cases]
 
     def test_derived_experiment_chains_through_cache(self, tmp_path,
                                                      tiny_config, tiny_cases,
