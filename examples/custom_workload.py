@@ -1,100 +1,108 @@
 #!/usr/bin/env python3
-"""Build a custom task-parallel application against the public API.
+"""Register a third-party workload and run it through the Study API.
 
-This example shows the programmer-facing surface of the library:
+This example proves the drop-in extension path end to end, with **no
+edits to the library**:
 
-1. describe a workload as tasks with ``in``/``out``/``inout`` pointer
-   annotations (a blocked map/reduce pipeline with a stencil exchange),
-2. check its dependence structure (critical path, ideal speedup),
-3. run it on the runtime of your choice and inspect scheduling statistics,
-   including the custom-instruction counts of the Picos Delegates.
+1. ``@register_workload`` registers a fibonacci task graph — the classic
+   recursive call tree, one task per call, children feeding parents
+   through ``in``/``out`` pointer annotations — under the name
+   ``fibonacci``,
+2. :class:`repro.api.Study` sweeps it across the registered runtimes and
+   returns a typed :class:`~repro.api.StudyResult`,
+3. the same workload is immediately runnable from the command line
+   (``--plugin`` imports this file into a fresh CLI process)::
+
+       python -m repro run figure9 --workload fibonacci \
+           --plugin examples/custom_workload.py
+       python -m repro workloads --tag example \
+           --plugin examples/custom_workload.py
 
 Run with::
 
-    python examples/custom_workload.py
+    PYTHONPATH=src python examples/custom_workload.py
 """
 
 from __future__ import annotations
 
-from repro import PhentosRuntime, SerialRuntime, SimConfig, Task, TaskProgram
-from repro.eval import format_table
-from repro.runtime.task import in_dep, inout_dep, out_dep
+from repro import SimConfig, Study
+from repro.eval import benchmarks_report
+from repro.registry import register_workload, workload
+from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
 
-#: Modelled base addresses for the pipeline's blocks.
-INPUT_BASE = 0x1000_0000
-STAGE_BASE = 0x2000_0000
-ACCUM_ADDR = 0x3000_0000
+#: Modelled base address of the per-call result slots.
+RESULT_BASE = 0x6000_0000
+_SLOT_STRIDE = 64
 
 
-def build_pipeline(num_blocks: int = 24, map_cycles: int = 6_000,
-                   stencil_cycles: int = 4_000,
-                   reduce_cycles: int = 1_500) -> TaskProgram:
-    """A three-stage pipeline: map each block, exchange with neighbours,
-    then reduce everything into one accumulator."""
+@register_workload(
+    "fibonacci",
+    tags=("example", "recursive", "irregular"),
+    defaults={"depth": 12, "task_cycles": 2_000},
+    description="Naive recursive fibonacci call tree, one task per call",
+)
+def fibonacci_program(*, depth: int, task_cycles: int) -> TaskProgram:
+    """The fib(depth) call tree as a task DAG.
+
+    Every call becomes one task writing its result slot; an internal call
+    additionally reads the slots of its two children, so the runtime
+    discovers the reduction tree through dependences alone — no barriers.
+    """
+    if not 0 <= depth <= 18:
+        raise ValueError("depth must be between 0 and 18")
     tasks = []
-    index = 0
-    # Stage 1: independent map over every input block.
-    for block in range(num_blocks):
-        tasks.append(Task(
-            index=index, payload_cycles=map_cycles,
-            dependences=(in_dep(INPUT_BASE + 4096 * block),
-                         out_dep(STAGE_BASE + 4096 * block)),
-            name=f"map_{block}",
-        ))
-        index += 1
-    # Stage 2: stencil exchange — each block reads its neighbours' outputs.
-    for block in range(num_blocks):
-        deps = [inout_dep(STAGE_BASE + 4096 * block)]
-        if block > 0:
-            deps.append(in_dep(STAGE_BASE + 4096 * (block - 1)))
-        if block < num_blocks - 1:
-            deps.append(in_dep(STAGE_BASE + 4096 * (block + 1)))
-        tasks.append(Task(index=index, payload_cycles=stencil_cycles,
-                          dependences=tuple(deps), name=f"stencil_{block}"))
-        index += 1
-    # Stage 3: reduction chain into a single accumulator.
-    for block in range(num_blocks):
-        tasks.append(Task(
-            index=index, payload_cycles=reduce_cycles,
-            dependences=(in_dep(STAGE_BASE + 4096 * block),
-                         inout_dep(ACCUM_ADDR)),
-            name=f"reduce_{block}",
-        ))
-        index += 1
-    return TaskProgram(name="map-stencil-reduce", tasks=tasks)
+
+    def emit(n: int) -> int:
+        """Emit the subtree computing fib(n); return its result address."""
+        slot = RESULT_BASE + len(tasks) * _SLOT_STRIDE
+        if n < 2:
+            tasks.append(Task(index=len(tasks), payload_cycles=task_cycles,
+                              dependences=(out_dep(slot),),
+                              name=f"fib_leaf_{n}_{len(tasks)}"))
+            return slot
+        left = emit(n - 1)
+        right = emit(n - 2)
+        slot = RESULT_BASE + len(tasks) * _SLOT_STRIDE
+        tasks.append(Task(index=len(tasks), payload_cycles=task_cycles,
+                          dependences=(in_dep(left), in_dep(right),
+                                       out_dep(slot)),
+                          name=f"fib_{n}_{len(tasks)}"))
+        return slot
+
+    emit(depth)
+    return TaskProgram(name=f"fibonacci-{depth}", tasks=tasks)
 
 
 def main() -> None:
-    config = SimConfig()
-    program = build_pipeline()
-    print(f"Program: {program.name}")
+    spec = workload("fibonacci")
+    program = spec.build()
+    print(f"Registered workload: {spec.name}  (tags: {', '.join(spec.tags)})")
+    print(f"  {spec.description}")
     print(f"  tasks             : {program.num_tasks}")
     print(f"  serial work       : {program.serial_cycles} cycles")
     print(f"  critical path     : {program.critical_path_cycles()} cycles")
     print(f"  ideal speedup (8c): {program.ideal_speedup(8):.2f}x\n")
 
-    serial = SerialRuntime(config).run(program)
-    phentos = PhentosRuntime(config).run(program)
-    print(format_table(
-        ["metric", "serial", "phentos (8 cores)"],
-        [
-            ["elapsed cycles", serial.elapsed_cycles, phentos.elapsed_cycles],
-            ["speedup vs serial", "1.00x",
-             f"{serial.elapsed_cycles / phentos.elapsed_cycles:.2f}x"],
-            ["core utilisation", "100%", f"{phentos.utilization * 100:.0f}%"],
-        ],
-    ))
+    result = (
+        Study(SimConfig())
+        .workloads("fibonacci")
+        .runtimes("phentos", "nanos-rv")
+        .label("example:fibonacci")
+        .run()
+    )
+    print(f"Study {result.label!r} "
+          f"({len(result.runs())} case(s) at {result.core_counts[0]} cores)")
+    print(benchmarks_report(result.runs(), runtimes=result.runtimes))
+    for runtime in result.runtimes:
+        print(f"  geomean speedup {runtime:<9}: "
+              f"{result.geomean(runtime):.2f}x over serial")
 
-    print("\nPicos Delegate instruction counts (summed over the 8 cores):")
-    interesting = ["rocc_submission_request", "rocc_submit_three_packets",
-                   "rocc_ready_task_request", "rocc_fetch_sw_id",
-                   "rocc_fetch_picos_id", "rocc_retire_task"]
-    rows = []
-    for key in interesting:
-        total = sum(value for name, value in phentos.stats.items()
-                    if name.endswith(key))
-        rows.append([key.replace("rocc_", "").replace("_", " "), int(total)])
-    print(format_table(["custom instruction", "executed"], rows))
+    print("\nThe same workload is now a first-class CLI citizen "
+          "(--plugin imports this file into a fresh process):")
+    print("  python -m repro run figure9 --workload fibonacci "
+          "--plugin examples/custom_workload.py")
+    print("  python -m repro workloads --tag example "
+          "--plugin examples/custom_workload.py")
 
 
 if __name__ == "__main__":

@@ -34,10 +34,31 @@ from repro.runtime import (
 
 __version__ = "1.1.0"
 
+
+def __getattr__(name: str):
+    """Lazy top-level exports: the Study API and the plugin registry.
+
+    ``repro.api`` pulls in the evaluation and harness layers; importing it
+    here eagerly would make ``import repro`` heavyweight and circular
+    (``repro.api`` itself imports from ``repro``), so :class:`Study` and
+    friends resolve on first attribute access instead (PEP 562).
+    """
+    if name in ("Study", "StudyResult", "StudySweep"):
+        from repro import api
+        return getattr(api, name)
+    if name == "registry":
+        import repro.registry as registry
+        return registry
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "MachineConfig",
     "SimConfig",
     "SoC",
+    "Study",
+    "StudyResult",
+    "StudySweep",
     "RUNTIMES",
     "NanosAXIRuntime",
     "NanosRVRuntime",

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.common.errors import WorkloadError
 from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.registry import CaseInput, register_workload, scaled_size
 from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
 
 __all__ = [
@@ -38,7 +39,37 @@ PAPER_INPUTS = [
     ("16K", 256),
 ]
 
+#: The reduced input set of ``--quick`` sweeps.
+QUICK_INPUTS = [("4K", 16), ("4K", 256)]
+
 _SIZE_LABELS = {"4K": 4096, "16K": 16384}
+
+
+def _paper_cases(quick: bool = False, scale: float = 1.0) -> List[CaseInput]:
+    """The Figure 9 blackscholes inputs as registry case descriptions."""
+    inputs = QUICK_INPUTS if quick else PAPER_INPUTS
+    cases: List[CaseInput] = []
+    for portfolio, block in inputs:
+        options = max(scaled_size(_SIZE_LABELS[portfolio], scale), block)
+        cases.append(CaseInput(
+            "blackscholes", f"{portfolio} B{block}",
+            {"options": options, "block_size": block, "portfolio": portfolio},
+        ))
+    return cases
+
+
+@register_workload(
+    "blackscholes",
+    tags=("paper", "data-parallel", "compute-bound"),
+    defaults={"options": 4096, "block_size": 32, "portfolio": "4K"},
+    description="Black-Scholes option pricing (PARSEC/OmpSs, Figure 9)",
+    paper_cases=_paper_cases,
+)
+def benchmark_builder(*, options: int, block_size: int,
+                      portfolio: str) -> TaskProgram:
+    """Build one Figure 9 blackscholes case from its sweep parameters."""
+    return blackscholes_program(str(options), block_size,
+                                name=f"blackscholes-{portfolio}-B{block_size}")
 
 
 class BlackscholesData:

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.common.errors import WorkloadError
 from repro.picos.packets import MAX_DEPENDENCES
+from repro.registry import register_workload
 from repro.runtime.task import Task, TaskProgram, inout_dep, out_dep
 
 __all__ = ["task_free_program", "task_chain_program"]
@@ -45,6 +46,12 @@ def _check_args(num_tasks: int, num_dependences: int,
         raise WorkloadError("payload_cycles must be non-negative")
 
 
+@register_workload(
+    "task-free",
+    tags=("micro", "overhead"),
+    defaults={"num_tasks": 200, "num_dependences": 1, "payload_cycles": 0},
+    description="Independent empty tasks (lifetime-overhead micro-benchmark)",
+)
 def task_free_program(num_tasks: int = 200, num_dependences: int = 1,
                       payload_cycles: int = 0,
                       name: Optional[str] = None) -> TaskProgram:
@@ -75,6 +82,12 @@ def task_free_program(num_tasks: int = 200, num_dependences: int = 1,
     )
 
 
+@register_workload(
+    "task-chain",
+    tags=("micro", "overhead"),
+    defaults={"num_tasks": 200, "num_dependences": 1, "payload_cycles": 0},
+    description="Single dependence chain of empty tasks (MTT bound input)",
+)
 def task_chain_program(num_tasks: int = 200, num_dependences: int = 1,
                        payload_cycles: int = 0,
                        name: Optional[str] = None) -> TaskProgram:

@@ -25,12 +25,43 @@ import numpy as np
 
 from repro.common.errors import WorkloadError
 from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.registry import CaseInput, register_workload, scaled_size
 from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
 
 __all__ = ["jacobi_program", "jacobi_reference", "PAPER_INPUTS"]
 
 #: The (grid size, block factor) pairs evaluated in Figure 9.
 PAPER_INPUTS = [(128, 1), (256, 1), (512, 1)]
+
+#: The reduced input set of ``--quick`` sweeps.
+QUICK_INPUTS = [(128, 1)]
+
+
+def _paper_cases(quick: bool = False, scale: float = 1.0) -> List[CaseInput]:
+    """The Figure 9 jacobi inputs as registry case descriptions."""
+    inputs = QUICK_INPUTS if quick else PAPER_INPUTS
+    return [
+        CaseInput(
+            "jacobi", f"N{grid} B{factor}",
+            {"grid_blocks": scaled_size(grid, scale, factor),
+             "block_factor": factor, "grid_label": grid},
+        )
+        for grid, factor in inputs
+    ]
+
+
+@register_workload(
+    "jacobi",
+    tags=("paper", "stencil", "memory-bound"),
+    defaults={"grid_blocks": 128, "block_factor": 1, "grid_label": 128},
+    description="Jacobi 1-D Poisson solver (KaStORS, Figure 9)",
+    paper_cases=_paper_cases,
+)
+def benchmark_builder(*, grid_blocks: int, block_factor: int,
+                      grid_label: int) -> TaskProgram:
+    """Build one Figure 9 jacobi case from its sweep parameters."""
+    return jacobi_program(grid_blocks, block_factor,
+                          name=f"jacobi-N{grid_label}-B{block_factor}")
 
 #: Default number of Jacobi sweeps per program.
 DEFAULT_ITERATIONS = 4

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.common.errors import WorkloadError
 from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.registry import CaseInput, register_workload, scaled_size
 from repro.runtime.task import Task, TaskProgram, in_dep, inout_dep
 
 __all__ = ["sparselu_program", "sparselu_reference", "PAPER_INPUTS",
@@ -39,6 +40,38 @@ PAPER_INPUTS = [
     ("N32", 1), ("N32", 2), ("N32", 4), ("N32", 8), ("N32", 16),
     ("N128", 1), ("N128", 2), ("N128", 4), ("N128", 8), ("N128", 16),
 ]
+
+#: The reduced input set of ``--quick`` sweeps.
+QUICK_INPUTS = [("N32", 2), ("N32", 16)]
+
+
+def _paper_cases(quick: bool = False, scale: float = 1.0) -> List[CaseInput]:
+    """The Figure 9 sparselu inputs as registry case descriptions."""
+    inputs = QUICK_INPUTS if quick else PAPER_INPUTS
+    cases: List[CaseInput] = []
+    for label, multiplier in inputs:
+        blocks, dim = paper_input_parameters(label, multiplier)
+        cases.append(CaseInput(
+            "sparselu", f"{label} M{multiplier}",
+            {"num_blocks": max(scaled_size(blocks, scale), 2),
+             "block_dim": dim, "label": label, "multiplier": multiplier},
+        ))
+    return cases
+
+
+@register_workload(
+    "sparselu",
+    tags=("paper", "linear-algebra", "irregular"),
+    defaults={"num_blocks": 6, "block_dim": 8, "label": "N32",
+              "multiplier": 2},
+    description="Blocked sparse LU factorisation (KaStORS, Figure 9)",
+    paper_cases=_paper_cases,
+)
+def benchmark_builder(*, num_blocks: int, block_dim: int, label: str,
+                      multiplier: int) -> TaskProgram:
+    """Build one Figure 9 sparselu case from its sweep parameters."""
+    return sparselu_program(num_blocks, block_dim,
+                            name=f"sparselu-{label}-M{multiplier}")
 
 #: Label → (blocks per dimension, base block dimension in elements).
 _LABEL_PARAMS = {"N32": (6, 4), "N128": (10, 8)}

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.common.errors import WorkloadError
 from repro.apps.workload import DEFAULT_KERNEL_COSTS, BlockSpace, KernelCosts
+from repro.registry import CaseInput, register_workload, scaled_size
 from repro.runtime.task import Task, TaskProgram, in_dep, out_dep
 
 __all__ = [
@@ -70,6 +71,47 @@ def paper_input_parameters(label: str) -> Tuple[int, int]:
         return _LABEL_PARAMS[label]
     except KeyError as exc:
         raise WorkloadError(f"unknown stream input label {label!r}") from exc
+
+
+#: The reduced input set of ``--quick`` sweeps.
+QUICK_INPUTS = ["16x16", "128x1024"]
+
+#: The two synchronisation variants of Figure 9 (report name, uses deps).
+VARIANTS = (("stream-barr", False), ("stream-deps", True))
+
+
+def _paper_cases(quick: bool = False, scale: float = 1.0) -> List[CaseInput]:
+    """Both stream variants' Figure 9 inputs as registry case descriptions."""
+    labels = QUICK_INPUTS if quick else PAPER_INPUTS
+    cases: List[CaseInput] = []
+    for variant, use_deps in VARIANTS:
+        for label in labels:
+            blocks, elems = paper_input_parameters(label)
+            cases.append(CaseInput(
+                variant, label,
+                {"num_blocks": max(scaled_size(blocks, scale), 2),
+                 "block_elems": elems, "use_dependences": use_deps,
+                 "variant": variant, "label": label},
+            ))
+    return cases
+
+
+@register_workload(
+    "stream",
+    tags=("paper", "memory-bound", "micro"),
+    defaults={"num_blocks": 16, "block_elems": 16, "use_dependences": True,
+              "variant": "stream-deps", "label": "16x16"},
+    description="STREAM triad micro-benchmark, barrier and dependence "
+                "variants (ompss-ee, Figure 9)",
+    paper_cases=_paper_cases,
+)
+def benchmark_builder(*, num_blocks: int, block_elems: int,
+                      use_dependences: bool, variant: str,
+                      label: str) -> TaskProgram:
+    """Build one Figure 9 stream case from its sweep parameters."""
+    return stream_program(num_blocks, block_elems,
+                          use_dependences=use_dependences,
+                          name=f"{variant}-{label}")
 
 
 def stream_reference(a: np.ndarray, b: np.ndarray, c: np.ndarray,

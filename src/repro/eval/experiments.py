@@ -23,20 +23,22 @@ helpers can render them as the rows/series the paper plots.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.apps.blackscholes import PAPER_INPUTS as BLACKSCHOLES_INPUTS
-from repro.apps.blackscholes import blackscholes_program
-from repro.apps.granularity import task_chain_program
-from repro.apps.jacobi import PAPER_INPUTS as JACOBI_INPUTS
-from repro.apps.jacobi import jacobi_program
-from repro.apps.sparselu import PAPER_INPUTS as SPARSELU_INPUTS
-from repro.apps.sparselu import paper_input_parameters as sparselu_parameters
-from repro.apps.sparselu import sparselu_program
-from repro.apps.stream import PAPER_INPUTS as STREAM_INPUTS
-from repro.apps.stream import paper_input_parameters as stream_parameters
-from repro.apps.stream import stream_program
+import repro.apps  # noqa: F401  (workload self-registration side effect)
+import repro.runtime  # noqa: F401  (runtime self-registration side effect)
+from repro import registry
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
 from repro.common.stats import geometric_mean
@@ -48,20 +50,17 @@ from repro.eval.overhead import (
     overhead_table,
 )
 from repro.eval.resources import ResourceEntry, resource_table
-from repro.runtime import (
-    NanosRVRuntime,
-    NanosSWRuntime,
-    PhentosRuntime,
-    SerialRuntime,
-)
+from repro.registry import RegistryError
 from repro.runtime.base import RuntimeResult
 from repro.runtime.task import TaskProgram
 
 __all__ = [
     "BenchmarkCase",
     "BenchmarkRun",
+    "CASE_BUILDERS",
     "CASE_RUNTIMES",
     "benchmark_cases",
+    "canonical_runtime_selection",
     "run_benchmark_case",
     "figure6_mtt_bounds",
     "figure7_overhead",
@@ -97,54 +96,114 @@ def checked_geometric_mean(values: Sequence[float], experiment: str,
         ) from exc
 
 #: Runtimes compared in Figures 8/9/10, in the paper's plotting order.
-_COMPARED_RUNTIMES = ("nanos-sw", "nanos-rv", "phentos")
-
-#: Runtimes every Figure 9 case runs on (the serial baseline plus the three
-#: compared platforms), keyed by report name.
-CASE_RUNTIMES: Dict[str, Callable] = {
-    "serial": SerialRuntime,
-    "nanos-sw": NanosSWRuntime,
-    "nanos-rv": NanosRVRuntime,
-    "phentos": PhentosRuntime,
-}
+#: (The derived figures hard-code the paper's three-way comparison; the
+#: sweep itself is registry-driven and accepts any registered runtime.)
+_COMPARED_RUNTIMES = tuple(registry.compared_runtime_names())
 
 
-def _build_blackscholes_case(*, options: int, block_size: int,
-                             portfolio: str) -> TaskProgram:
-    return blackscholes_program(str(options), block_size,
-                                name=f"blackscholes-{portfolio}-B{block_size}")
+class _DeprecatedRegistryView(Mapping):
+    """Read-only dict-shaped view over a registry, warning on access.
+
+    Keeps the legacy ``CASE_BUILDERS`` / ``CASE_RUNTIMES`` module globals
+    importable (and value-correct) while steering callers to
+    :mod:`repro.registry`.  The view is live: plugin registrations show up
+    here too, so shim consumers and registry consumers cannot disagree.
+    """
+
+    def __init__(self, name: str, replacement: str,
+                 resolve: Callable[[], Dict[str, object]]) -> None:
+        self._name = name
+        self._replacement = replacement
+        self._resolve = resolve
+
+    def _warn(self) -> None:
+        warnings.warn(
+            f"{self._name} is deprecated; use {self._replacement} instead",
+            DeprecationWarning, stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> object:
+        self._warn()
+        return self._resolve()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(self._resolve())
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(self._resolve())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<deprecated view of {self._replacement}>"
 
 
-def _build_jacobi_case(*, grid_blocks: int, block_factor: int,
-                       grid_label: int) -> TaskProgram:
-    return jacobi_program(grid_blocks, block_factor,
-                          name=f"jacobi-N{grid_label}-B{block_factor}")
+#: Deprecated: named program builders for the benchmark cases.  Cases
+#: reference builders by registry name (rather than holding a closure) so
+#: that they stay picklable — the parallel harness ships cases to worker
+#: processes — and hashable, so the result cache can fingerprint them
+#: deterministically.  Use ``repro.registry.workload(name).builder``.
+CASE_BUILDERS: Mapping[str, Callable[..., TaskProgram]] = \
+    _DeprecatedRegistryView(
+        "CASE_BUILDERS", "repro.registry.WORKLOADS",
+        lambda: {spec.name: spec.builder
+                 for spec in registry.WORKLOADS.specs()},
+    )
+
+#: Deprecated: runtimes every Figure 9 case runs on (the serial baseline
+#: plus the three compared platforms), keyed by report name.  Use
+#: ``repro.registry.case_runtime_names()`` / ``repro.registry.runtime()``.
+CASE_RUNTIMES: Mapping[str, Callable] = _DeprecatedRegistryView(
+    "CASE_RUNTIMES", "repro.registry.RUNTIMES",
+    lambda: {name: registry.runtime(name).cls
+             for name in registry.case_runtime_names()},
+)
 
 
-def _build_sparselu_case(*, num_blocks: int, block_dim: int, label: str,
-                         multiplier: int) -> TaskProgram:
-    return sparselu_program(num_blocks, block_dim,
-                            name=f"sparselu-{label}-M{multiplier}")
+#: The paper's case runtimes: the fixed set behind the runtime-less cache
+#: keys of pre-registry releases.  Deliberately a literal, not a registry
+#: query — a plugin registering another ``case``-tagged runtime must NOT
+#: be served cache entries that were written without it.
+_PAPER_CASE_RUNTIMES = ("serial", "nanos-sw", "nanos-rv", "phentos")
 
 
-def _build_stream_case(*, num_blocks: int, block_elems: int,
-                       use_dependences: bool, variant: str,
-                       label: str) -> TaskProgram:
-    return stream_program(num_blocks, block_elems,
-                          use_dependences=use_dependences,
-                          name=f"{variant}-{label}")
+def canonical_runtime_selection(
+        runtimes: Optional[Sequence[str]] = None
+) -> Optional[Tuple[str, ...]]:
+    """Canonical form of a benchmark-case runtime selection.
 
-
-#: Named program builders for the benchmark cases.  Cases reference builders
-#: by key (rather than holding a closure) so that they stay picklable — the
-#: parallel harness ships cases to worker processes — and hashable, so the
-#: result cache can fingerprint them deterministically.
-CASE_BUILDERS: Dict[str, Callable[..., TaskProgram]] = {
-    "blackscholes": _build_blackscholes_case,
-    "jacobi": _build_jacobi_case,
-    "sparselu": _build_sparselu_case,
-    "stream": _build_stream_case,
-}
+    Returns ``None`` — "the paper's four case runtimes" — whenever the
+    effective selection collapses to that fixed set, so equivalent
+    requests share one cache entry and the default keys stay
+    byte-identical to pre-registry releases.  Any other effective set —
+    an explicit selection reaching outside the paper four, or a default
+    request while a plugin has extended the ``case``-tagged registry set —
+    yields the executed runtime tuple: ``"serial"`` first (the baseline
+    always runs: every speedup is measured against it), then the selected
+    runtimes in registry rank order.  Unknown names raise
+    :class:`EvaluationError` with a did-you-mean suggestion.
+    """
+    if runtimes is None:
+        current = tuple(registry.case_runtime_names())
+        return None if current == _PAPER_CASE_RUNTIMES else current
+    names = list(dict.fromkeys(name for name in runtimes
+                               if name != "serial"))
+    if not names:
+        raise EvaluationError(
+            "runtime selection must name at least one non-serial runtime"
+        )
+    for name in names:
+        try:
+            registry.runtime(name)
+        except RegistryError as exc:
+            raise EvaluationError(str(exc)) from exc
+    if set(names) <= set(_PAPER_CASE_RUNTIMES):
+        # A subset of the paper sweep still runs the whole paper sweep
+        # (callers narrow presentation, not execution), so it shares the
+        # default cache entries.
+        return None
+    ordered = sorted(names, key=lambda n: (registry.runtime(n).rank, n))
+    return ("serial", *ordered)
 
 
 @dataclass(frozen=True)
@@ -168,12 +227,15 @@ class BenchmarkCase:
         return f"{self.benchmark}/{self.label}"
 
     def build(self) -> TaskProgram:
-        """Construct the case's task program."""
+        """Construct the case's task program via the workload registry."""
         try:
-            builder = CASE_BUILDERS[self.builder]
-        except KeyError:
-            raise EvaluationError(f"unknown case builder {self.builder!r}")
-        return builder(**dict(self.params))
+            spec = registry.workload(self.builder)
+        except RegistryError as exc:
+            raise EvaluationError(
+                f"unknown case builder {self.builder!r}"
+                f"{registry.suggest(self.builder, registry.workload_names())}"
+            ) from exc
+        return spec.builder(**dict(self.params))
 
 
 def _case_params(**kwargs: object) -> Tuple[Tuple[str, object], ...]:
@@ -199,58 +261,47 @@ class BenchmarkRun:
 
 
 def benchmark_cases(quick: bool = False,
-                    scale: float = 1.0) -> List[BenchmarkCase]:
-    """The Figure 9 input list (37 cases; a reduced set when ``quick``).
+                    scale: float = 1.0,
+                    workloads: Optional[Sequence[str]] = None,
+                    tags: Optional[Sequence[str]] = None
+                    ) -> List[BenchmarkCase]:
+    """The benchmark input list of a sweep, drawn from the registry.
 
-    ``scale`` < 1 shrinks problem sizes proportionally (used by unit tests);
-    the default reproduces the full evaluation sweep.
+    The default selection — every workload tagged ``paper`` — reproduces
+    the Figure 9 input list exactly (37 cases; a reduced set when
+    ``quick``).  ``workloads`` restricts the sweep to the named registry
+    entries (did-you-mean on unknown names) and ``tags`` to workloads
+    carrying every listed tag; a workload registered without explicit paper
+    cases contributes one case built from its default parameters, so any
+    drop-in plugin is sweepable with no further wiring.  ``scale`` < 1
+    shrinks problem sizes proportionally (used by unit tests).
     """
     if scale <= 0:
         raise EvaluationError("scale must be positive")
-
-    def scaled(value: int, minimum: int = 1) -> int:
-        return max(int(round(value * scale)), minimum)
-
+    if workloads is not None:
+        selected = []
+        for name in dict.fromkeys(workloads):
+            try:
+                selected.append(registry.workload(name))
+            except RegistryError as exc:
+                raise EvaluationError(str(exc)) from exc
+        if tags:
+            wanted = set(tags)
+            selected = [spec for spec in selected
+                        if wanted.issubset(set(spec.tags))]
+    else:
+        selected = registry.WORKLOADS.specs(tags=tags if tags else ("paper",))
+    if not selected:
+        raise EvaluationError(
+            f"no registered workload matches workloads={workloads!r} "
+            f"tags={tags!r}"
+        )
     cases: List[BenchmarkCase] = []
-    blackscholes_inputs = BLACKSCHOLES_INPUTS
-    jacobi_inputs = JACOBI_INPUTS
-    sparselu_inputs = SPARSELU_INPUTS
-    stream_inputs = STREAM_INPUTS
-    if quick:
-        blackscholes_inputs = [("4K", 16), ("4K", 256)]
-        jacobi_inputs = [(128, 1)]
-        sparselu_inputs = [("N32", 2), ("N32", 16)]
-        stream_inputs = ["16x16", "128x1024"]
-
-    blackscholes_sizes = {"4K": 4096, "16K": 16384}
-    for portfolio, block in blackscholes_inputs:
-        options = max(scaled(blackscholes_sizes[portfolio]), block)
-        cases.append(BenchmarkCase(
-            "blackscholes", f"{portfolio} B{block}", "blackscholes",
-            _case_params(options=options, block_size=block,
-                         portfolio=portfolio),
-        ))
-    for grid, factor in jacobi_inputs:
-        cases.append(BenchmarkCase(
-            "jacobi", f"N{grid} B{factor}", "jacobi",
-            _case_params(grid_blocks=scaled(grid, factor),
-                         block_factor=factor, grid_label=grid),
-        ))
-    for label, multiplier in sparselu_inputs:
-        blocks, dim = sparselu_parameters(label, multiplier)
-        cases.append(BenchmarkCase(
-            "sparselu", f"{label} M{multiplier}", "sparselu",
-            _case_params(num_blocks=max(scaled(blocks), 2), block_dim=dim,
-                         label=label, multiplier=multiplier),
-        ))
-    for variant, use_deps in (("stream-barr", False), ("stream-deps", True)):
-        for label in stream_inputs:
-            blocks, elems = stream_parameters(label)
+    for spec in selected:
+        for case_input in spec.cases(quick=quick, scale=scale):
             cases.append(BenchmarkCase(
-                variant, label, "stream",
-                _case_params(num_blocks=max(scaled(blocks), 2),
-                             block_elems=elems, use_dependences=use_deps,
-                             variant=variant, label=label),
+                case_input.benchmark, case_input.label, spec.name,
+                _case_params(**dict(case_input.params)),
             ))
     return cases
 
@@ -302,21 +353,29 @@ def run_benchmark_case(
     case: BenchmarkCase,
     config: Optional[SimConfig] = None,
     num_workers: Optional[int] = None,
+    runtimes: Optional[Sequence[str]] = None,
 ) -> BenchmarkRun:
-    """Execute one benchmark input on every :data:`CASE_RUNTIMES` runtime.
+    """Execute one benchmark input on the case runtimes (registry-driven).
 
-    This is the case-level execution hook shared by the serial
-    :func:`figure9_benchmarks` loop and the parallel harness
-    (:mod:`repro.harness.runner`): a case is self-contained, so executing it
-    in a worker process yields results identical to the in-process loop.
+    ``runtimes`` defaults to the registry's case set (serial baseline plus
+    the compared platforms); passing names canonicalises them through
+    :func:`canonical_runtime_selection`, so any registered runtime —
+    including drop-in plugins — is runnable here.  This is the case-level
+    execution hook shared by the serial :func:`figure9_benchmarks` loop and
+    the parallel harness (:mod:`repro.harness.runner`): a case is
+    self-contained, so executing it in a worker process yields results
+    identical to the in-process loop.
     """
     config = config if config is not None else SimConfig()
     workers = num_workers if num_workers is not None else \
         config.machine.num_cores
+    selection = canonical_runtime_selection(runtimes)
+    names = (list(_PAPER_CASE_RUNTIMES) if selection is None
+             else list(selection))
     program = case.build()
     run = BenchmarkRun(case=case, mean_task_cycles=program.mean_task_cycles)
-    for name, runtime_cls in CASE_RUNTIMES.items():
-        runtime = runtime_cls(config)
+    for name in names:
+        runtime = registry.runtime(name).cls(config)
         run.results[name] = runtime.run(
             program, num_workers=1 if name == "serial" else workers
         )
@@ -329,13 +388,15 @@ def figure9_benchmarks(
     scale: float = 1.0,
     num_workers: Optional[int] = None,
     cases: Optional[Sequence[BenchmarkCase]] = None,
+    runtimes: Optional[Sequence[str]] = None,
 ) -> List[BenchmarkRun]:
     """Run every benchmark input on serial, Nanos-SW, Nanos-RV and Phentos."""
     config = config if config is not None else SimConfig()
     workers = num_workers if num_workers is not None else \
         config.machine.num_cores
     selected = list(cases) if cases is not None else benchmark_cases(quick, scale)
-    return [run_benchmark_case(case, config, workers) for case in selected]
+    return [run_benchmark_case(case, config, workers, runtimes)
+            for case in selected]
 
 
 # --------------------------------------------------------------------- #

@@ -105,6 +105,29 @@ def _build_workload(kind: str, num_dependences: int, num_tasks: int,
     raise EvaluationError(f"unknown overhead workload kind {kind!r}")
 
 
+def _resolve_platform(platform: str) -> Type[Runtime]:
+    """Resolve a platform name to a runtime class via the plugin registry.
+
+    The Figure 7 platforms resolve as before; any other registered
+    non-baseline runtime — including drop-in plugins — is measurable too,
+    so scaling bounds can be computed for new runtimes with no edits here.
+    """
+    cls = OVERHEAD_PLATFORMS.get(platform)
+    if cls is not None:
+        return cls
+    from repro import registry
+    try:
+        spec = registry.runtime(platform)
+    except registry.RegistryError as exc:
+        raise EvaluationError(str(exc)) from exc
+    if "baseline" in spec.tags:
+        raise EvaluationError(
+            f"platform {platform!r} is the serial baseline; it has no "
+            f"scheduling machinery to measure"
+        )
+    return spec.cls
+
+
 def measure_lifetime_overhead(
     platform: str,
     workload_kind: str = "task-chain",
@@ -113,12 +136,7 @@ def measure_lifetime_overhead(
     config: Optional[SimConfig] = None,
 ) -> float:
     """Measure ``Lo`` (cycles per task) of ``platform`` on one workload."""
-    if platform not in OVERHEAD_PLATFORMS:
-        raise EvaluationError(
-            f"unknown platform {platform!r}; expected one of "
-            f"{sorted(OVERHEAD_PLATFORMS)}"
-        )
-    runtime = OVERHEAD_PLATFORMS[platform](config)
+    runtime = _resolve_platform(platform)(config)
     program = _build_workload(workload_kind, num_dependences, num_tasks,
                               payload_cycles=0)
     result = runtime.run(program, num_workers=1)

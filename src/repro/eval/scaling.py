@@ -28,10 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro import registry
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
 from repro.eval.experiments import (
-    _COMPARED_RUNTIMES,
     EXPERIMENT_SPECS,
     EXPERIMENTS,
     FIGURE6_DEFAULT_NUM_TASKS,
@@ -42,6 +42,7 @@ from repro.eval.experiments import (
     checked_geometric_mean,
     run_benchmark_case,
 )
+from repro.registry import RegistryError
 from repro.eval.mtt import speedup_bound
 from repro.eval.overhead import measure_lifetime_overhead
 
@@ -148,17 +149,27 @@ def normalize_core_counts(
 
 def normalize_runtimes(
         runtimes: Optional[Sequence[str]] = None) -> List[str]:
-    """Validated runtime selection in the paper's plotting order."""
+    """Validated runtime selection in the registry's plotting (rank) order.
+
+    Defaults to the compared platforms of the paper; any registered
+    non-serial runtime — including drop-in plugins — is accepted.  Unknown
+    names raise :class:`EvaluationError` with a did-you-mean suggestion.
+    """
     if runtimes is None:
-        return list(_COMPARED_RUNTIMES)
+        return registry.compared_runtime_names()
     selected = list(dict.fromkeys(runtimes))
-    unknown = [name for name in selected if name not in _COMPARED_RUNTIMES]
-    if unknown or not selected:
+    if not selected or "serial" in selected:
         raise EvaluationError(
-            f"scaling_curves: unknown runtimes {unknown!r}; expected a "
-            f"non-empty subset of {list(_COMPARED_RUNTIMES)}"
+            f"scaling_curves: runtimes must be a non-empty selection of "
+            f"non-serial runtimes, got {list(runtimes)!r} (the serial "
+            f"baseline always runs; it has no scaling curve of its own)"
         )
-    return [name for name in _COMPARED_RUNTIMES if name in selected]
+    for name in selected:
+        try:
+            registry.runtime(name)
+        except RegistryError as exc:
+            raise EvaluationError(f"scaling_curves: {exc}") from exc
+    return [name for name in registry.runtime_names() if name in selected]
 
 
 def measure_scaling_overheads(
@@ -261,7 +272,8 @@ def scaling_curves(
         chosen = (list(cases) if cases is not None
                   else benchmark_cases(quick, scale))
         runs_by_cores = {
-            count: [run_benchmark_case(case, config.with_cores(count), count)
+            count: [run_benchmark_case(case, config.with_cores(count), count,
+                                       runtimes=selected)
                     for case in chosen]
             for count in counts
         }

@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Type
 
+from repro.api import StudyResult, StudySweep
 from repro.common.errors import EvaluationError
 from repro.eval.experiments import (
     BenchmarkCase,
@@ -50,6 +51,8 @@ ARTIFACT_TYPES: Dict[str, Type] = {
         ResourceEntry,
         ScalingCurve,
         ScalingPoint,
+        StudyResult,
+        StudySweep,
     )
 }
 

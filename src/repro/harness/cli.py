@@ -2,12 +2,21 @@
 
 Subcommands::
 
-    python -m repro list                      # registry contents
+    python -m repro list                      # experiment registry
+    python -m repro workloads --tag paper     # workload plugin registry
+    python -m repro runtimes                  # runtime plugin registry
     python -m repro run figure9 --quick --jobs 8
+    python -m repro run figure9 --workload jacobi --runtime phentos
     python -m repro run all --cache-dir /tmp/repro-cache
     python -m repro sweep --experiment scaling_curves --cores 1,2,4,8
     python -m repro cache --stats / --clear
     python -m repro bench --events 1000000    # engine microbenchmark
+
+``run``/``sweep``/``bench`` accept ``--workload``/``--runtime``/``--tag``
+filters resolved through the plugin registries (:mod:`repro.registry`), so
+a workload or runtime registered by a drop-in plugin is immediately
+runnable from the command line; unknown names fail with a did-you-mean
+suggestion listing the registered names.
 
 ``run`` drives the :class:`~repro.harness.engine.ExperimentEngine`, so every
 invocation benefits from the result cache and the process-pool sweep, and
@@ -45,9 +54,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import registry
 from repro.common.config import SimConfig
 from repro.common.errors import ReproError
-from repro.eval.experiments import EXPERIMENT_SPECS
+from repro.eval.experiments import EXPERIMENT_SPECS, benchmark_cases
 from repro.eval.reporting import (
     benchmarks_report,
     bounds_report,
@@ -80,6 +90,12 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: invalidate results).
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable naming plugin modules (comma-separated module
+#: names or ``.py`` file paths) imported before any registry lookup, so
+#: ``@register_workload``/``@register_runtime`` plugins are addressable
+#: from a fresh CLI process.  ``--plugin`` does the same per invocation.
+PLUGINS_ENV = "REPRO_PLUGINS"
+
 #: Experiment identifiers in presentation order ("all" runs these in order;
 #: ``scaling_curves`` is grid-shaped and runs through ``sweep`` instead).
 _RUN_ORDER = ("figure7", "figure6", "figure9", "figure8", "figure10",
@@ -97,8 +113,15 @@ _RENDERERS = {
 }
 
 
-def render_report(experiment_id: str, result: object) -> str:
-    """Render one experiment result as the paper's text table."""
+def render_report(experiment_id: str, result: object,
+                  runtimes: Optional[List[str]] = None) -> str:
+    """Render one experiment result as the paper's text table.
+
+    ``runtimes`` narrows the figure9 report columns to a selection (the
+    other renderers have fixed columns and ignore it).
+    """
+    if experiment_id == "figure9" and runtimes:
+        return _RENDERERS[experiment_id](result, runtimes=runtimes)
     return _RENDERERS[experiment_id](result)
 
 
@@ -117,9 +140,61 @@ def _parse_cores(text: str) -> List[int]:
         )
 
 
-def _parse_runtimes(text: str) -> List[str]:
-    """argparse type for ``--runtimes``: 'phentos,nanos-rv' -> list."""
+def _parse_names(text: str) -> List[str]:
+    """argparse type for name lists: 'phentos,nanos-rv' -> list.
+
+    Used with ``action="extend"``, so ``--runtime a,b --runtime c`` and
+    ``--runtime a --runtime b --runtime c`` are equivalent.
+    """
     return [item.strip() for item in text.split(",") if item.strip()]
+
+
+#: Experiments whose execution honours a ``--runtime`` selection (the
+#: derived figures hard-code the paper's three-way comparison).
+_RUNTIME_AWARE = ("figure9", "scaling_curves")
+
+
+def _selected_cases(args: argparse.Namespace):
+    """The registry-derived case list of ``--workload``/``--tag`` filters.
+
+    Returns ``None`` (the experiment default) when no filter was given.
+    Unknown workload names raise :class:`EvaluationError` upstream with a
+    did-you-mean suggestion.
+    """
+    if not getattr(args, "workload", None) and not getattr(args, "tag", None):
+        return None
+    return benchmark_cases(quick=args.quick, scale=args.scale,
+                           workloads=args.workload or None,
+                           tags=args.tag or None)
+
+
+def _is_case_aware(experiment_id: str) -> bool:
+    """Whether an experiment consumes a benchmark-case selection."""
+    if experiment_id in ("figure9", "scaling_curves"):
+        return True
+    return "figure9" in EXPERIMENT_SPECS[experiment_id].depends_on
+
+
+def _cases_for(args: argparse.Namespace, cases, experiment_id: str):
+    """``cases`` where the experiment consumes them; note-and-drop else."""
+    if cases is None or _is_case_aware(experiment_id):
+        return cases
+    print(f"note: --workload/--tag apply to the benchmark-sweep "
+          f"experiments; ignored for {experiment_id}", file=sys.stderr)
+    return None
+
+
+def _runtimes_for(args: argparse.Namespace, experiment_id: str):
+    """The ``--runtime`` selection, where the experiment honours it."""
+    runtimes = getattr(args, "runtimes", None)
+    if not runtimes:
+        return None
+    if experiment_id not in _RUNTIME_AWARE:
+        print(f"note: --runtime applies to "
+              f"{'/'.join(_RUNTIME_AWARE)}; ignored for {experiment_id}",
+              file=sys.stderr)
+        return None
+    return runtimes
 
 
 def _default_jobs() -> int:
@@ -136,7 +211,21 @@ def _default_jobs() -> int:
         return 1
 
 
-def _build_engine(args: argparse.Namespace, jobs: int) -> ExperimentEngine:
+def _load_plugins(specs: Optional[List[str]]) -> None:
+    """Import every plugin named by ``--plugin`` and ``$REPRO_PLUGINS``.
+
+    Delegates to :func:`repro.registry.load_plugin` (module names or
+    ``.py`` paths; idempotent per file), so the CLI, the Study API and
+    the pool workers all share one loading path.
+    """
+    names = list(specs or [])
+    names += _parse_names(os.environ.get(PLUGINS_ENV, ""))
+    for name in dict.fromkeys(names):
+        registry.load_plugin(name)
+
+
+def _build_engine(args: argparse.Namespace, jobs: int,
+                  run_label: Optional[str] = None) -> ExperimentEngine:
     """The shared engine wiring of the ``run`` and ``sweep`` subcommands."""
     cache_dir = None
     if not args.no_cache:
@@ -148,6 +237,7 @@ def _build_engine(args: argparse.Namespace, jobs: int) -> ExperimentEngine:
         artifact_dir=args.artifact_dir,
         progress=NullProgress() if args.quiet else Progress(),
         bench_path=args.bench_out,
+        run_label=run_label,
     )
 
 
@@ -167,8 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    plugins = argparse.ArgumentParser(add_help=False)
+    plugins.add_argument("--plugin", dest="plugins", action="append",
+                         default=None, metavar="MODULE|FILE.py",
+                         help="import this plugin module (or .py file) "
+                              "before resolving names; also honours "
+                              f"${PLUGINS_ENV} (comma-separated)")
+
     run = sub.add_parser(
         "run", help="run one or more experiments (or 'all')",
+        parents=[plugins],
     )
     run.add_argument("experiments", nargs="+",
                      help=f"experiment ids ({', '.join(_RUN_ORDER)}) or 'all'")
@@ -176,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reduced benchmark sweep")
     run.add_argument("--scale", type=float, default=1.0,
                      help="shrink problem sizes proportionally (default 1.0)")
+    run.add_argument("--workload", type=_parse_names, action="extend",
+                     default=None, metavar="NAME[,NAME...]",
+                     help="restrict the benchmark sweep to these registered "
+                          "workloads (see 'workloads')")
+    run.add_argument("--tag", type=_parse_names, action="extend",
+                     default=None, metavar="TAG[,TAG...]",
+                     help="restrict the sweep to workloads carrying every "
+                          "listed tag")
+    run.add_argument("--runtime", "--runtimes", dest="runtimes",
+                     type=_parse_names, action="extend", default=None,
+                     metavar="NAME[,NAME...]",
+                     help="runtimes to compare for figure9/scaling_curves "
+                          "(serial always runs; see 'runtimes')")
     run.add_argument("--jobs", "-j", type=int, default=1,
                      help="host processes for the sweep (default 1)")
     run.add_argument("--workers", type=int, default=None,
@@ -201,16 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="grid sweeps: an experiment across core counts "
              "(default: scaling_curves)",
+        parents=[plugins],
     )
     sweep.add_argument("--experiment", default="scaling_curves",
                        help="experiment to sweep (default scaling_curves)")
     sweep.add_argument("--cores", type=_parse_cores, default=None,
                        help="comma-separated core counts "
                             "(default 1,2,4,8,16,32,64)")
-    sweep.add_argument("--runtimes", type=_parse_runtimes, default=None,
-                       help="comma-separated runtime filter for "
-                            "scaling_curves (default "
-                            "nanos-sw,nanos-rv,phentos)")
+    sweep.add_argument("--runtimes", "--runtime", dest="runtimes",
+                       type=_parse_names, action="extend", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="runtime filter for figure9/scaling_curves "
+                            "sweeps (default nanos-sw,nanos-rv,phentos)")
+    sweep.add_argument("--workload", type=_parse_names, action="extend",
+                       default=None, metavar="NAME[,NAME...]",
+                       help="restrict the swept cases to these registered "
+                            "workloads (see 'workloads')")
+    sweep.add_argument("--tag", type=_parse_names, action="extend",
+                       default=None, metavar="TAG[,TAG...]",
+                       help="restrict the swept cases to workloads carrying "
+                            "every listed tag")
     sweep.add_argument("--quick", action="store_true",
                        help="reduced benchmark sweep")
     sweep.add_argument("--scale", type=float, default=1.0,
@@ -237,6 +358,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the experiment registry")
 
+    workloads = sub.add_parser(
+        "workloads", help="list the workload plugin registry",
+        parents=[plugins],
+    )
+    workloads.add_argument("--tag", type=_parse_names, action="extend",
+                           default=None, metavar="TAG[,TAG...]",
+                           help="only workloads carrying every listed tag")
+
+    runtimes = sub.add_parser(
+        "runtimes", help="list the runtime plugin registry",
+        parents=[plugins],
+    )
+    runtimes.add_argument("--tag", type=_parse_names, action="extend",
+                          default=None, metavar="TAG[,TAG...]",
+                          help="only runtimes carrying every listed tag")
+
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("--cache-dir", type=Path, default=None)
     cache.add_argument("--clear", action="store_true",
@@ -245,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="engine microbenchmark (events/sec) + perf trajectory",
+        parents=[plugins],
     )
     bench.add_argument("--events", type=int, default=1_000_000,
                        help="synthetic workload size (default 1000000)")
@@ -252,6 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the timed Figure 9 case")
     bench.add_argument("--repeats", type=int, default=3,
                        help="runs per measurement, best-of (default 3)")
+    bench.add_argument("--workload", default=None, metavar="NAME",
+                       help="registered workload the timed case is drawn "
+                            "from (default: first quick case)")
+    bench.add_argument("--runtime", "--runtimes", dest="runtimes",
+                       type=_parse_names, action="extend", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="runtimes the timed case runs on (serial "
+                            "always runs)")
     bench.add_argument("--output", type=Path, default=None,
                        help=f"trajectory file to append to (default "
                             f"{DEFAULT_TRAJECTORY}; use '-' to disable)")
@@ -269,6 +415,37 @@ def _cmd_list(out) -> int:
         if experiment_id == "scaling_curves":
             needs += " [grid-shaped; run via 'sweep']"
         print(f"{experiment_id:<14} {spec.title}{needs}", file=out)
+    print("\nSee 'workloads' and 'runtimes' for the plugin registries.",
+          file=out)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace, out) -> int:
+    """Print the workload registry: name, tags, cases, description."""
+    specs = registry.WORKLOADS.specs(tags=args.tag or None)
+    if not specs:
+        print(f"no registered workload carries every tag in "
+              f"{args.tag!r}", file=sys.stderr)
+        return 1
+    for spec in specs:
+        tags = ",".join(spec.tags) if spec.tags else "-"
+        cases = len(spec.cases())
+        print(f"{spec.name:<14} {tags:<34} {cases:>3} case(s)  "
+              f"{spec.description}", file=out)
+    return 0
+
+
+def _cmd_runtimes(args: argparse.Namespace, out) -> int:
+    """Print the runtime registry in rank order: name, tags, description."""
+    specs = sorted(registry.RUNTIMES.specs(tags=args.tag or None),
+                   key=lambda spec: spec.rank)
+    if not specs:
+        print(f"no registered runtime carries every tag in "
+              f"{args.tag!r}", file=sys.stderr)
+        return 1
+    for spec in specs:
+        tags = ",".join(spec.tags) if spec.tags else "-"
+        print(f"{spec.name:<14} {tags:<34} {spec.description}", file=out)
     return 0
 
 
@@ -293,6 +470,8 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         include_case=not args.no_case,
         config=SimConfig(),
         repeats=args.repeats,
+        workload=args.workload,
+        runtimes=args.runtimes,
     )
     if args.format == "json":
         print(json.dumps(entry, indent=2, sort_keys=True), file=out)
@@ -320,16 +499,19 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     from repro.eval.scaling import DEFAULT_CORE_COUNTS
 
     if args.experiment not in EXPERIMENT_SPECS:
-        print(f"error: unknown experiment {args.experiment!r}; expected one "
-              f"of {', '.join(sorted(EXPERIMENT_SPECS))}", file=sys.stderr)
+        print(f"error: unknown experiment {args.experiment!r}"
+              f"{registry.suggest(args.experiment, list(EXPERIMENT_SPECS))}",
+              file=sys.stderr)
         return 2
     cores = args.cores if args.cores else list(DEFAULT_CORE_COUNTS)
     jobs = args.jobs if args.jobs is not None else _default_jobs()
-    engine = _build_engine(args, jobs)
+    engine = _build_engine(args, jobs,
+                           run_label=f"cli:sweep {args.experiment}")
+    cases = _selected_cases(args)
     if args.experiment == "scaling_curves":
         result = engine.run("scaling_curves", quick=args.quick,
                             scale=args.scale, core_counts=cores,
-                            runtimes=args.runtimes)
+                            runtimes=args.runtimes, cases=cases)
         if args.format == "json":
             print(json.dumps({"scaling_curves": encode(result)},
                              indent=2, sort_keys=True), file=out)
@@ -339,11 +521,12 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
                   file=out)
             print(render_report("scaling_curves", result), file=out)
     else:
-        if args.runtimes:
-            print("note: --runtimes only applies to scaling_curves; ignored",
-                  file=sys.stderr)
+        runtimes = _runtimes_for(args, args.experiment)
         grid = SweepGrid.cores((args.experiment,), cores)
-        results = engine.run_grid(grid, quick=args.quick, scale=args.scale)
+        results = engine.run_grid(grid, quick=args.quick, scale=args.scale,
+                                  cases=_cases_for(args, cases,
+                                                   args.experiment),
+                                  runtimes=runtimes)
         if args.format == "json":
             payload = {item.point.label: encode(item.result)
                        for item in results}
@@ -372,10 +555,13 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         elif name in EXPERIMENT_SPECS:
             selected.append(name)
         else:
-            print(f"error: unknown experiment {name!r}; expected one of "
-                  f"{', '.join(_RUN_ORDER)} or 'all'", file=sys.stderr)
+            print(f"error: unknown experiment {name!r}"
+                  f"{registry.suggest(name, list(EXPERIMENT_SPECS) + ['all'])}",
+                  file=sys.stderr)
             return 2
-    engine = _build_engine(args, args.jobs)
+    engine = _build_engine(args, args.jobs,
+                           run_label=f"cli:run {','.join(selected)}")
+    cases = _selected_cases(args)
     json_payload = {}
     for experiment_id in selected:
         result = engine.run(
@@ -384,13 +570,16 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             scale=args.scale,
             num_workers=args.workers,
             num_tasks=args.num_tasks,
+            cases=_cases_for(args, cases, experiment_id),
+            runtimes=_runtimes_for(args, experiment_id),
         )
         if args.format == "json":
             json_payload[experiment_id] = encode(result)
         else:
             title = EXPERIMENT_SPECS[experiment_id].title
             print(f"\n=== {experiment_id}: {title} ===", file=out)
-            print(render_report(experiment_id, result), file=out)
+            print(render_report(experiment_id, result,
+                                runtimes=args.runtimes), file=out)
     if args.format == "json":
         print(json.dumps(json_payload, indent=2, sort_keys=True), file=out)
     _print_cache_stats(engine, args.quiet)
@@ -401,8 +590,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro`` console script."""
     args = build_parser().parse_args(argv)
     try:
+        _load_plugins(getattr(args, "plugins", None))
         if args.command == "list":
             return _cmd_list(sys.stdout)
+        if args.command == "workloads":
+            return _cmd_workloads(args, sys.stdout)
+        if args.command == "runtimes":
+            return _cmd_runtimes(args, sys.stdout)
         if args.command == "cache":
             return _cmd_cache(args, sys.stdout)
         if args.command == "bench":

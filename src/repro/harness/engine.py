@@ -38,6 +38,7 @@ from repro.eval.experiments import (
     BenchmarkCase,
     BenchmarkRun,
     benchmark_cases,
+    canonical_runtime_selection,
     figure6_mtt_bounds,
     figure10_bound_task_sizes,
 )
@@ -53,7 +54,12 @@ from repro.eval.scaling import (
 from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import PerfTrajectory
 from repro.harness.cache import CacheStats, ResultCache
-from repro.harness.hashing import experiment_cache_key, grid_cache_key
+from repro.harness.hashing import (
+    canonical_case_config,
+    experiment_cache_key,
+    grid_cache_key,
+)
+from repro.registry import suggest
 from repro.harness.progress import NullProgress, Progress
 from repro.harness.runner import CaseUnit, run_case_grid, run_cases
 from repro.harness.sweep import GridPoint, GridResult, SweepGrid
@@ -82,13 +88,16 @@ class ExperimentEngine:
         artifact_dir: Optional[Path] = None,
         progress: Optional[Progress] = None,
         bench_path: Optional[Path] = None,
+        run_label: Optional[str] = None,
     ) -> None:
         """Create an engine.
 
         ``jobs`` is the process-pool width of the benchmark sweep;
         ``cache_dir`` enables the on-disk result cache; ``artifact_dir``
         archives every experiment result as JSON; ``bench_path`` appends
-        per-case sweep timings to a ``BENCH_engine.json`` trajectory.
+        per-case sweep timings to a ``BENCH_engine.json`` trajectory, and
+        ``run_label`` is recorded on every trajectory entry so bench data
+        is attributable to the Study/CLI invocation that produced it.
         """
         if jobs <= 0:
             raise EvaluationError("jobs must be positive")
@@ -100,6 +109,7 @@ class ExperimentEngine:
         self.progress = progress if progress is not None else NullProgress()
         self.trajectory = (PerfTrajectory(bench_path)
                            if bench_path is not None else None)
+        self.run_label = run_label
         #: Wall-clock seconds per simulated case of the most recent sweep
         #: (empty when the sweep was fully served from cache/memo).
         self.case_timings: dict = {}
@@ -140,14 +150,15 @@ class ExperimentEngine:
         spec = EXPERIMENT_SPECS.get(experiment_id)
         if spec is None:
             raise EvaluationError(
-                f"unknown experiment {experiment_id!r}; expected one of "
-                f"{sorted(EXPERIMENT_SPECS)}"
+                f"unknown experiment {experiment_id!r}"
+                f"{suggest(experiment_id, list(EXPERIMENT_SPECS))}"
             )
         if experiment_id == "scaling_curves":
             result = self._run_scaling(quick, scale, cases, core_counts,
                                        runtimes)
         elif experiment_id == "figure9":
-            result = self._run_sweep(quick, scale, num_workers, cases)
+            result = self._run_sweep(quick, scale, num_workers, cases,
+                                     runtimes=runtimes)
         elif spec.is_derived:
             result = self._run_derived(experiment_id, quick, scale,
                                        num_workers, num_tasks, cases)
@@ -165,6 +176,7 @@ class ExperimentEngine:
         scale: float = 1.0,
         num_tasks: Optional[int] = None,
         cases: Optional[Sequence[BenchmarkCase]] = None,
+        runtimes: Optional[Sequence[str]] = None,
     ) -> List[GridResult]:
         """Execute every point of ``grid`` and return its results in order.
 
@@ -172,14 +184,17 @@ class ExperimentEngine:
         override) unit of every figure9-backed point — is batched through
         *one* process-pool invocation and the shared result cache before
         the points are assembled, so grid wall-clock tracks total work and
-        repeated columns are pure cache hits.
+        repeated columns are pure cache hits.  ``runtimes`` selects the
+        case runtimes of figure9-backed points (default: the registry's
+        case set).
         """
         points = grid.points()
-        self._prime_grid_sweeps(points, quick, scale, cases)
+        self._prime_grid_sweeps(points, quick, scale, cases,
+                                runtimes=runtimes)
         grid_timings = dict(self.case_timings)
         results = [
             GridResult(point, self._run_point(point, quick, scale,
-                                              num_tasks, cases))
+                                              num_tasks, cases, runtimes))
             for point in points
         ]
         # Memo-served assembly clears per-sweep timings; the grid's own
@@ -197,14 +212,23 @@ class ExperimentEngine:
         scale: float,
         num_workers: Optional[int],
         cases: Optional[Sequence[BenchmarkCase]],
+        runtimes: Optional[Sequence[str]] = None,
     ):
-        """The (workers, cases, memo key) triple of one sweep request."""
+        """The (workers, cases, selection, memo key) of one sweep request.
+
+        The memo key folds the worker count into the configuration
+        (:func:`~repro.harness.hashing.canonical_case_config`) exactly like
+        the disk cache, so a scaling column at N cores and a direct
+        ``num_workers=N`` sweep share one in-memory entry too.
+        """
         workers = (num_workers if num_workers is not None
                    else point_config.machine.num_cores)
         selected = (list(cases) if cases is not None
                     else benchmark_cases(quick, scale))
-        memo_key = (point_config, workers, tuple(selected))
-        return workers, selected, memo_key
+        selection = canonical_runtime_selection(runtimes)
+        memo_key = (canonical_case_config(point_config, workers),
+                    tuple(selected), selection)
+        return workers, selected, selection, memo_key
 
     def _run_sweep(
         self,
@@ -213,20 +237,22 @@ class ExperimentEngine:
         num_workers: Optional[int],
         cases: Optional[Sequence[BenchmarkCase]],
         config: Optional[SimConfig] = None,
+        runtimes: Optional[Sequence[str]] = None,
     ) -> List[BenchmarkRun]:
         config = config if config is not None else self.config
-        workers, selected, memo_key = self._sweep_inputs(
-            config, quick, scale, num_workers, cases)
+        workers, selected, selection, memo_key = self._sweep_inputs(
+            config, quick, scale, num_workers, cases, runtimes)
         if memo_key in self._sweep_memo:
             self.case_timings = {}
             return list(self._sweep_memo[memo_key])
         timings: dict = {}
         runs = run_cases(config, selected, workers, jobs=self.jobs,
                          cache=self.cache, progress=self.progress,
-                         timings=timings)
+                         timings=timings, runtimes=selection)
         self.case_timings = timings
         if self.trajectory is not None:
-            self.trajectory.record_sweep("figure9", timings)
+            self.trajectory.record_sweep("figure9", timings,
+                                         label=self.run_label)
         self._sweep_memo[memo_key] = runs
         return list(runs)
 
@@ -237,6 +263,7 @@ class ExperimentEngine:
         scale: float,
         cases: Optional[Sequence[BenchmarkCase]],
         base_config: Optional[SimConfig] = None,
+        runtimes: Optional[Sequence[str]] = None,
     ) -> None:
         """Batch the benchmark units of every sweep-backed grid point.
 
@@ -248,7 +275,7 @@ class ExperimentEngine:
         """
         base_config = (base_config if base_config is not None
                        else self.config)
-        pending: List[tuple] = []  # (memo_key, config, workers, cases)
+        pending: List[tuple] = []  # (memo_key, config, workers, cases, sel)
         seen = set()
         for point in points:
             spec = EXPERIMENT_SPECS[point.experiment_id]
@@ -258,20 +285,26 @@ class ExperimentEngine:
             if point.experiment_id == "scaling_curves":
                 continue  # runs its own nested grid
             config = point.apply(base_config)
-            workers, selected, memo_key = self._sweep_inputs(
-                config, quick, scale, None, cases)
+            # Derived figures hard-code the paper's comparison and their
+            # assembly path (_run_derived) always sweeps the default
+            # runtimes — priming them under a selection would batch units
+            # the assembly never looks up.
+            point_runtimes = (runtimes if point.experiment_id == "figure9"
+                              else None)
+            workers, selected, selection, memo_key = self._sweep_inputs(
+                config, quick, scale, None, cases, point_runtimes)
             if memo_key in self._sweep_memo or memo_key in seen:
                 continue
             seen.add(memo_key)
-            pending.append((memo_key, config, workers, selected))
+            pending.append((memo_key, config, workers, selected, selection))
         if not pending:
             # Nothing simulated: a previous sweep's timings must not be
             # attributed to this grid.
             self.case_timings = {}
             return
         units = [
-            CaseUnit(config, case, workers)
-            for _memo_key, config, workers, selected in pending
+            CaseUnit(config, case, workers, selection)
+            for _memo_key, config, workers, selected, selection in pending
             for case in selected
         ]
         timings: dict = {}
@@ -279,9 +312,10 @@ class ExperimentEngine:
                              progress=self.progress, timings=timings)
         self.case_timings = timings
         if self.trajectory is not None:
-            self.trajectory.record_sweep("grid", timings)
+            self.trajectory.record_sweep("grid", timings,
+                                         label=self.run_label)
         offset = 0
-        for memo_key, _config, _workers, selected in pending:
+        for memo_key, _config, _workers, selected, _sel in pending:
             self._sweep_memo[memo_key] = runs[offset:offset + len(selected)]
             offset += len(selected)
 
@@ -292,16 +326,18 @@ class ExperimentEngine:
         scale: float,
         num_tasks: Optional[int],
         cases: Optional[Sequence[BenchmarkCase]],
+        runtimes: Optional[Sequence[str]] = None,
     ) -> object:
         """Execute one grid point under its overridden configuration."""
         config = point.apply(self.config)
         experiment_id = point.experiment_id
         spec = EXPERIMENT_SPECS[experiment_id]
         if experiment_id == "scaling_curves":
-            return self._run_scaling(quick, scale, cases, None, None,
+            return self._run_scaling(quick, scale, cases, None, runtimes,
                                      config=config)
         if experiment_id == "figure9":
-            return self._run_sweep(quick, scale, None, cases, config=config)
+            return self._run_sweep(quick, scale, None, cases, config=config,
+                                   runtimes=runtimes)
         if spec.is_derived:
             return self._run_derived(experiment_id, quick, scale, None,
                                      num_tasks, cases, config=config)
@@ -383,6 +419,31 @@ class ExperimentEngine:
             return runner(runs, config, bounds)
         return runner(runs)
 
+    def scaling_overheads(
+        self,
+        runtimes: Sequence[str],
+        config: Optional[SimConfig] = None,
+    ) -> Dict[str, float]:
+        """Single-worker Task-Chain ``Lo`` per runtime, engine-cached.
+
+        The measurement behind every scaling curve's MTT bound; whole-result
+        cached per runtime, so repeated studies/sweeps measure each runtime
+        once.
+        """
+        config = config if config is not None else self.config
+        return {
+            runtime: self._run_cached(
+                f"scaling-overhead-{runtime}",
+                {"workload": "task-chain", "dependences": 1,
+                 "num_tasks": DEFAULT_OVERHEAD_NUM_TASKS},
+                lambda runtime=runtime: measure_lifetime_overhead(
+                    runtime, "task-chain", 1, DEFAULT_OVERHEAD_NUM_TASKS,
+                    config),
+                config=config,
+            )
+            for runtime in runtimes
+        }
+
     def _run_scaling(
         self,
         quick: bool,
@@ -433,27 +494,18 @@ class ExperimentEngine:
         grid = SweepGrid.cores(("figure9",), counts)
         points = grid.points()
         self._prime_grid_sweeps(points, quick, scale, cases,
-                                base_config=config)
+                                base_config=config,
+                                runtimes=selected_runtimes)
         grid_timings = dict(self.case_timings)
         runs_by_cores: Dict[int, List[BenchmarkRun]] = {}
         for point in points:
             point_config = point.apply(config)
             cores = point_config.machine.num_cores
             runs_by_cores[cores] = self._run_sweep(
-                quick, scale, None, cases, config=point_config)
+                quick, scale, None, cases, config=point_config,
+                runtimes=selected_runtimes)
         self.case_timings = grid_timings
-        overheads = {
-            runtime: self._run_cached(
-                f"scaling-overhead-{runtime}",
-                {"workload": "task-chain", "dependences": 1,
-                 "num_tasks": DEFAULT_OVERHEAD_NUM_TASKS},
-                lambda runtime=runtime: measure_lifetime_overhead(
-                    runtime, "task-chain", 1, DEFAULT_OVERHEAD_NUM_TASKS,
-                    config),
-                config=config,
-            )
-            for runtime in selected_runtimes
-        }
+        overheads = self.scaling_overheads(selected_runtimes, config=config)
         curves = build_scaling_curves(runs_by_cores, overheads,
                                       selected_runtimes)
         if self.cache is not None and key is not None:

@@ -30,7 +30,7 @@ from typing import Mapping, Optional, Sequence
 import repro
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
-from repro.eval.experiments import BenchmarkCase
+from repro.eval.experiments import BenchmarkCase, canonical_runtime_selection
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -94,8 +94,9 @@ def canonical_case_config(config: SimConfig,
 
 def case_cache_key(case: BenchmarkCase, config: SimConfig,
                    num_workers: Optional[int] = None,
-                   version: Optional[str] = None) -> str:
-    """Cache key of one benchmark case execution (all runtimes).
+                   version: Optional[str] = None,
+                   runtimes: Optional[Sequence[str]] = None) -> str:
+    """Cache key of one benchmark case execution.
 
     Case-level keys make overlapping sweeps share work: the quick sweep is
     a subset of the full one, Figures 8/10 plus the headline summary all
@@ -103,8 +104,14 @@ def case_cache_key(case: BenchmarkCase, config: SimConfig,
     grid sweep addresses exactly the Figure 9 entries.  The worker count is
     canonicalised into the config (see :func:`canonical_case_config`); host
     execution knobs such as ``jobs`` are deliberately absent.
+
+    ``runtimes`` is canonicalised through
+    :func:`~repro.eval.experiments.canonical_runtime_selection` and only
+    enters the key when the selection reaches outside the default case
+    runtimes — a default-selection key is byte-identical to pre-registry
+    releases, so existing caches stay 100%-hit.
     """
-    return stable_hash({
+    payload = {
         "kind": "benchmark-case",
         "schema": CACHE_SCHEMA,
         "benchmark": case.benchmark,
@@ -114,7 +121,11 @@ def case_cache_key(case: BenchmarkCase, config: SimConfig,
         "config": config_fingerprint(canonical_case_config(config,
                                                            num_workers)),
         "version": version if version is not None else repro.__version__,
-    })
+    }
+    selection = canonical_runtime_selection(runtimes)
+    if selection is not None:
+        payload["runtimes"] = list(selection)
+    return stable_hash(payload)
 
 
 def experiment_cache_key(experiment_id: str, config: SimConfig,

@@ -36,11 +36,13 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import registry
 from repro.common.config import SimConfig
 from repro.common.errors import EvaluationError
 from repro.eval.experiments import (
     BenchmarkCase,
     BenchmarkRun,
+    canonical_runtime_selection,
     run_benchmark_case,
 )
 from repro.harness.artifacts import decode, encode
@@ -53,11 +55,17 @@ __all__ = ["CaseUnit", "run_cases", "run_case_grid"]
 
 @dataclass(frozen=True)
 class CaseUnit:
-    """One schedulable unit: a case under one config and worker count."""
+    """One schedulable unit: a case under one config and worker count.
+
+    ``runtimes`` is the canonical runtime selection of the unit (``None``
+    means the default case runtimes; see
+    :func:`~repro.eval.experiments.canonical_runtime_selection`).
+    """
 
     config: SimConfig
     case: BenchmarkCase
     num_workers: int
+    runtimes: Optional[Tuple[str, ...]] = None
 
     @property
     def key(self) -> str:
@@ -65,17 +73,69 @@ class CaseUnit:
         return f"{self.case.key}@{self.num_workers}w"
 
 
-def _execute_case(config: SimConfig, case: BenchmarkCase,
-                  num_workers: int) -> Tuple[BenchmarkRun, float]:
-    """Worker entry point: run and time one case on every runtime.
+def _plugin_payload(unit: "CaseUnit") -> Tuple[Optional[object], Dict, Tuple]:
+    """The plugin payload a worker needs to resolve ``unit`` by name.
+
+    Cases travel to workers as registry *names*; a spawned (or forkserver)
+    worker re-imports only the ``repro`` built-ins, so plugin
+    registrations must travel with the unit.  Two transports, per object:
+
+    * a plugin from an **importable module** ships pickled by reference
+      (``plugin_builder`` / the ``{name: (class, rank)}`` mapping) and is
+      re-registered worker-side;
+    * a plugin loaded from a **file path** (``--plugin FILE.py``) lives in
+      a synthetic module no other process can import, so its source path
+      ships instead (``plugin_files``) and the worker re-loads the file,
+      firing the file's own ``@register_*`` decorators.
+
+    All three parts are empty for built-in-only units, keeping the common
+    path payload-free.
+    """
+    builder = None
+    plugin_files = []
+    spec = registry.workload(unit.case.builder)
+    if (spec.builder.__module__ or "").partition(".")[0] != "repro":
+        source = registry.plugin_file_of(spec.builder)
+        if source is not None:
+            plugin_files.append(source)
+        else:
+            builder = spec.builder
+    plugin_runtimes = {}
+    for name in unit.runtimes or ():
+        runtime_spec = registry.runtime(name)
+        if runtime_spec.cls.__module__.partition(".")[0] != "repro":
+            source = registry.plugin_file_of(runtime_spec.cls)
+            if source is not None:
+                plugin_files.append(source)
+            else:
+                plugin_runtimes[name] = (runtime_spec.cls,
+                                         runtime_spec.rank)
+    return builder, plugin_runtimes, tuple(dict.fromkeys(plugin_files))
+
+
+def _execute_case(config: SimConfig, case: BenchmarkCase, num_workers: int,
+                  runtimes: Optional[Tuple[str, ...]] = None,
+                  plugin_builder: Optional[object] = None,
+                  plugin_runtimes: Optional[Dict] = None,
+                  plugin_files: Tuple[str, ...] = ()
+                  ) -> Tuple[BenchmarkRun, float]:
+    """Worker entry point: run and time one case on its runtimes.
 
     Returns ``(run, wall_seconds)``; both halves are picklable so the pair
     travels back from process-pool workers unchanged.  Timing happens here,
     in the worker, so parallel sweeps measure simulation cost rather than
-    pool scheduling latency.
+    pool scheduling latency.  The ``plugin_*`` parameters carry plugin
+    registrations into workers whose registry only holds the built-ins
+    (see :func:`_plugin_payload`).
     """
+    for path in plugin_files:
+        registry.load_plugin(path)
+    if plugin_builder is not None:
+        registry.ensure_workload(case.builder, plugin_builder)
+    for name, (cls, rank) in (plugin_runtimes or {}).items():
+        registry.ensure_runtime(name, cls, rank=rank)
     started = time.perf_counter()
-    run = run_benchmark_case(case, config, num_workers)
+    run = run_benchmark_case(case, config, num_workers, runtimes)
     return run, time.perf_counter() - started
 
 
@@ -114,7 +174,8 @@ def _run_units(
     for slot, unit in enumerate(units):
         key = None
         if cache is not None:
-            key = case_cache_key(unit.case, unit.config, unit.num_workers)
+            key = case_cache_key(unit.case, unit.config, unit.num_workers,
+                                 runtimes=unit.runtimes)
             run = _decode_cached_run(cache, key)
             if run is not None:
                 results[slot] = run
@@ -134,11 +195,14 @@ def _run_units(
 
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_case, unit.config, unit.case,
-                            unit.num_workers): (slot, unit, key)
-                for slot, unit, key in pending
-            }
+            futures = {}
+            for slot, unit, key in pending:
+                builder, plugin_runtimes, plugin_files = \
+                    _plugin_payload(unit)
+                future = pool.submit(_execute_case, unit.config, unit.case,
+                                     unit.num_workers, unit.runtimes,
+                                     builder, plugin_runtimes, plugin_files)
+                futures[future] = (slot, unit, key)
             for future in as_completed(futures):
                 slot, unit, key = futures[future]
                 run, seconds = future.result()
@@ -146,7 +210,7 @@ def _run_units(
     else:
         for slot, unit, key in pending:
             run, seconds = _execute_case(unit.config, unit.case,
-                                         unit.num_workers)
+                                         unit.num_workers, unit.runtimes)
             record(slot, unit, key, run, seconds)
 
     progress.finish()
@@ -161,18 +225,22 @@ def run_cases(
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
+    runtimes: Optional[Sequence[str]] = None,
 ) -> List[BenchmarkRun]:
     """Execute ``cases`` under one config; runs come back in input order.
 
     ``num_workers`` is the number of *simulated* cores each non-serial
     runtime uses; ``jobs`` is the number of *host* processes the sweep fans
-    out over (1 keeps everything in-process).
+    out over (1 keeps everything in-process).  ``runtimes`` selects the
+    runtimes each case runs on (default: the registry's case set).
 
     When a ``timings`` mapping is passed, it is populated with the
     wall-clock seconds of every case that was actually simulated (keyed by
     ``case.key``); cache hits cost no simulation and are not recorded.
     """
-    units = [CaseUnit(config, case, num_workers) for case in cases]
+    selection = canonical_runtime_selection(runtimes)
+    units = [CaseUnit(config, case, num_workers, selection)
+             for case in cases]
     return _run_units(units, [case.key for case in cases], jobs, cache,
                       progress, timings, "benchmark sweep")
 

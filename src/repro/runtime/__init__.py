@@ -1,5 +1,6 @@
 """Task-scheduling runtime models: serial, Nanos-SW/RV/AXI and Phentos."""
 
+from repro.registry import RUNTIMES as _runtime_registry
 from repro.runtime.base import Runtime, RuntimeResult
 from repro.runtime.hw_interface import (
     FetchedTask,
@@ -48,11 +49,10 @@ __all__ = [
 ]
 
 #: Registry of every runtime model keyed by its short name, used by the
-#: evaluation harness and the examples.
+#: evaluation harness and the examples.  Built from the plugin registry
+#: (:mod:`repro.registry`): the imports above self-registered each model, so
+#: this view and the registry cannot drift apart.
 RUNTIMES = {
-    "serial": SerialRuntime,
-    "nanos-sw": NanosSWRuntime,
-    "nanos-rv": NanosRVRuntime,
-    "nanos-axi": NanosAXIRuntime,
-    "phentos": PhentosRuntime,
+    spec.name: spec.cls
+    for spec in sorted(_runtime_registry.registered(), key=lambda s: s.rank)
 }

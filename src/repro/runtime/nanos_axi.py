@@ -18,6 +18,7 @@ from repro.common.config import SimConfig
 from repro.cpu.core import Core
 from repro.cpu.soc import SoC
 from repro.picos.axi import AxiPicosInterface
+from repro.registry import register_runtime
 from repro.picos.packets import TaskDescriptor
 from repro.runtime.base import Runtime, wait_for_queue_or_event
 from repro.runtime.nanos_machinery import NanosMachinery
@@ -27,6 +28,9 @@ from repro.sim.engine import Event, ProcessGen
 __all__ = ["NanosAXIRuntime"]
 
 
+@register_runtime("nanos-axi", tags=("hardware",), rank=30,
+                  description="Nanos++ over Picos via the AXI bus "
+                              "(Figure 7 only)")
 class NanosAXIRuntime(Runtime):
     """Nanos on Picos++ behind an AXI interconnect (the literature baseline)."""
 

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 from repro.common.config import SimConfig
 from repro.cpu.core import Core
 from repro.cpu.soc import SoC
+from repro.registry import register_runtime
 from repro.runtime.base import Runtime, wait_for_queue_or_event
 from repro.runtime.hw_interface import retire_task_hw, submit_task_hw
 from repro.runtime.nanos_machinery import NanosMachinery
@@ -32,6 +33,10 @@ from repro.sim.engine import Event, ProcessGen
 __all__ = ["NanosRVRuntime"]
 
 
+@register_runtime("nanos-rv", tags=("case", "compared", "hardware"),
+                  rank=20,
+                  description="Nanos++ over Picos via RoCC custom "
+                              "instructions")
 class NanosRVRuntime(Runtime):
     """Nanos ported to the custom task-scheduling instructions."""
 

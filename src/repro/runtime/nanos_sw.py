@@ -23,6 +23,7 @@ from typing import Optional
 from repro.common.config import SimConfig
 from repro.cpu.core import Core
 from repro.cpu.soc import SoC
+from repro.registry import register_runtime
 from repro.runtime.base import Runtime, wait_for_queue_or_event
 from repro.runtime.nanos_machinery import NanosMachinery
 from repro.runtime.task import TaskProgram
@@ -31,6 +32,9 @@ from repro.sim.engine import Event, ProcessGen
 __all__ = ["NanosSWRuntime"]
 
 
+@register_runtime("nanos-sw", tags=("case", "compared", "software"),
+                  rank=10,
+                  description="Nanos++ with pure-software scheduling")
 class NanosSWRuntime(Runtime):
     """Software-only Nanos runtime model (the paper's Nanos-SW)."""
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.common.config import CACHE_LINE_BYTES, PhentosCosts, SimConfig
 from repro.cpu.soc import SoC
+from repro.registry import register_runtime
 from repro.memory.hierarchy import SharedCounter
 from repro.runtime.base import Runtime, wait_for_queue_or_event
 from repro.runtime.hw_interface import retire_task_hw, submit_task_hw
@@ -37,6 +38,10 @@ from repro.sim.engine import Event, ProcessGen
 __all__ = ["PhentosRuntime"]
 
 
+@register_runtime("phentos", tags=("case", "compared", "hardware"),
+                  rank=40,
+                  description="Phentos: hardware-centric runtime over "
+                              "Picos")
 class PhentosRuntime(Runtime):
     """Hardware-accelerated fly-weight runtime model."""
 

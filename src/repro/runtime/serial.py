@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cpu.soc import SoC
+from repro.registry import register_runtime
 from repro.runtime.base import Runtime
 from repro.runtime.task import TaskProgram
 from repro.sim.engine import ProcessGen
@@ -22,6 +23,9 @@ __all__ = ["SerialRuntime"]
 _LOOP_INSTRUCTIONS_PER_TASK = 6
 
 
+@register_runtime("serial", tags=("case", "baseline", "software"),
+                  rank=0,
+                  description="Serial baseline: every task on one core")
 class SerialRuntime(Runtime):
     """Plain serial execution of the program on a single core."""
 

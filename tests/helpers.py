@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from repro.runtime.phentos import PhentosRuntime
 from repro.runtime.task import Task, TaskProgram, in_dep, inout_dep, out_dep
+
+
+class PluginRuntime(PhentosRuntime):
+    """A module-level non-``repro`` runtime class for transport tests."""
 
 def make_chain_program(num_tasks: int = 10, payload: int = 200,
                        num_deps: int = 1, name: str = "chain") -> TaskProgram:
@@ -25,6 +30,13 @@ def make_independent_program(num_tasks: int = 16, payload: int = 500,
         for i in range(num_tasks)
     ]
     return TaskProgram(name=name, tasks=tasks)
+
+
+def plugin_chain_builder(*, num_tasks: int = 6,
+                         payload: int = 100) -> TaskProgram:
+    """A module-level plugin builder (pickles by reference to workers)."""
+    return make_chain_program(num_tasks=num_tasks, payload=payload,
+                              name="plugin-chain")
 
 
 def make_fork_join_program(width: int = 6, payload: int = 300,
