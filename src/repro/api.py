@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro import registry
 from repro.common.config import SimConfig
@@ -39,6 +39,9 @@ from repro.eval.experiments import (
     checked_geometric_mean,
 )
 from repro.eval.scaling import ScalingCurve
+
+if TYPE_CHECKING:  # imported lazily at runtime (harness imports this module)
+    from repro.harness.executor import UnitFailure
 
 __all__ = ["Study", "StudyResult", "StudySweep"]
 
@@ -58,8 +61,11 @@ class StudyResult:
     ``sweeps`` holds the per-core-count benchmark runs (one entry for a
     plain study, one per grid column for a scaling study) and ``curves``
     the assembled :class:`~repro.eval.scaling.ScalingCurve` records when
-    more than one core count was requested.  The whole record round-trips
-    through :func:`repro.harness.artifacts.encode` / ``decode``.
+    more than one core count was requested.  ``failures`` lists the
+    :class:`~repro.harness.executor.UnitFailure` records of a
+    :meth:`Study.keep_going` study whose sweep lost units — empty means
+    the results are complete.  The whole record round-trips through
+    :func:`repro.harness.artifacts.encode` / ``decode``.
     """
 
     label: str
@@ -70,6 +76,7 @@ class StudyResult:
     scale: float
     sweeps: Tuple[StudySweep, ...] = ()
     curves: Tuple[ScalingCurve, ...] = ()
+    failures: Tuple["UnitFailure", ...] = ()
 
     @property
     def case_keys(self) -> List[str]:
@@ -142,6 +149,8 @@ class Study:
         self._cores: Optional[List[int]] = None
         self._quick = False
         self._scale = 1.0
+        self._keep_going = False
+        self._retries = 1
         self._label: Optional[str] = None
         self._cache_dir: Optional[Path] = None
         self._artifact_dir: Optional[Path] = None
@@ -217,6 +226,29 @@ class Study:
         self._scale = factor
         return self
 
+    def keep_going(self, enabled: bool = True) -> "Study":
+        """Deliver partial results instead of failing the whole study.
+
+        With this set, a sweep unit that fails every retry becomes a
+        :class:`~repro.harness.executor.UnitFailure` on
+        :attr:`StudyResult.failures` while every other unit completes
+        (and lands in the cache); without it, failures raise one
+        aggregated :class:`~repro.harness.executor.SweepError`.
+        """
+        self._keep_going = enabled
+        return self
+
+    def retries(self, count: int) -> "Study":
+        """Re-attempts per failed sweep unit, each in a fresh worker.
+
+        Default 1: one retry guards against transient worker failures and
+        poisoned interpreter state; 0 disables retrying.
+        """
+        if count < 0:
+            raise EvaluationError("retries must be >= 0")
+        self._retries = count
+        return self
+
     def label(self, text: str) -> "Study":
         """Name the study (used for artifacts and bench attribution)."""
         self._label = text
@@ -260,7 +292,8 @@ class Study:
                   else [self._config.machine.num_cores])
         label = self._label or _study_label(self._workloads,
                                             self._workload_tags, counts)
-        if engine is None:
+        owns_engine = engine is None
+        if owns_engine:
             engine = ExperimentEngine(
                 config=self._config,
                 jobs=jobs,
@@ -268,24 +301,38 @@ class Study:
                 progress=progress,
                 bench_path=self._bench_path,
                 run_label=label,
+                keep_going=self._keep_going,
+                retries=self._retries,
             )
-        cases = (list(self._cases) if self._cases is not None
-                 else benchmark_cases_for(self._workloads,
-                                          self._workload_tags,
-                                          self._quick, self._scale))
-        curves: Tuple[ScalingCurve, ...] = ()
-        if len(counts) > 1:
-            curves = tuple(engine.run(
-                "scaling_curves", quick=self._quick, scale=self._scale,
-                cases=cases, core_counts=counts, runtimes=self._runtimes,
-            ))
-        sweeps = tuple(
-            StudySweep(count, tuple(engine.run(
-                "figure9", quick=self._quick, scale=self._scale,
-                cases=cases, num_workers=count, runtimes=self._runtimes,
-            )))
-            for count in counts
-        )
+        failures_before = len(engine.unit_failures)
+        try:
+            cases = (list(self._cases) if self._cases is not None
+                     else benchmark_cases_for(self._workloads,
+                                              self._workload_tags,
+                                              self._quick, self._scale))
+            curves: Tuple[ScalingCurve, ...] = ()
+            if len(counts) > 1:
+                curves = tuple(engine.run(
+                    "scaling_curves", quick=self._quick, scale=self._scale,
+                    cases=cases, core_counts=counts,
+                    runtimes=self._runtimes,
+                ))
+            sweeps = tuple(
+                StudySweep(count, tuple(engine.run(
+                    "figure9", quick=self._quick, scale=self._scale,
+                    cases=cases, num_workers=count, runtimes=self._runtimes,
+                )))
+                for count in counts
+            )
+            # Memo-served partial sweeps re-report their failures (so a
+            # shared engine cannot hide gaps); collapse the repeats.
+            failures = tuple(dict.fromkeys(
+                engine.unit_failures[failures_before:]))
+        finally:
+            if owns_engine:
+                # An injected engine's warm pool belongs to the caller
+                # (shared across studies); our own is done.
+                engine.close()
         result = StudyResult(
             label=label,
             workloads=tuple(dict.fromkeys(run.case.builder
@@ -298,6 +345,7 @@ class Study:
             scale=self._scale,
             sweeps=sweeps,
             curves=curves,
+            failures=failures,
         )
         if self._artifact_dir is not None:
             from repro.harness.artifacts import ArtifactStore

@@ -26,7 +26,7 @@ Figure 9 results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import registry
 from repro.common.config import SimConfig
@@ -53,6 +53,7 @@ __all__ = [
     "ScalingCurve",
     "normalize_core_counts",
     "normalize_runtimes",
+    "align_runs_by_cores",
     "measure_scaling_overheads",
     "build_scaling_curves",
     "scaling_curves",
@@ -170,6 +171,31 @@ def normalize_runtimes(
         except RegistryError as exc:
             raise EvaluationError(f"scaling_curves: {exc}") from exc
     return [name for name in registry.runtime_names() if name in selected]
+
+
+def align_runs_by_cores(
+    runs_by_cores: Mapping[int, Sequence[BenchmarkRun]],
+) -> Tuple[Dict[int, List[BenchmarkRun]], List[str]]:
+    """Restrict per-core-count sweeps to the cases present at every count.
+
+    Partial sweeps (keep-going mode with failed units) may be missing
+    different cases at different core counts; scaling curves need every
+    case at every count.  Returns ``(aligned, dropped)`` where ``aligned``
+    keeps only the cases covered by *all* counts (in the order of the
+    smallest count's sweep) and ``dropped`` lists the case keys that had
+    to be discarded, so callers can report the loss.
+    """
+    if not runs_by_cores:
+        return {}, []
+    key_sets = [{run.case.key for run in runs}
+                for runs in runs_by_cores.values()]
+    common = set.intersection(*key_sets)
+    aligned = {
+        count: [run for run in runs if run.case.key in common]
+        for count, runs in runs_by_cores.items()
+    }
+    dropped = sorted(set.union(*key_sets) - common)
+    return aligned, dropped
 
 
 def measure_scaling_overheads(

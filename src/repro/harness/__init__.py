@@ -8,9 +8,14 @@ The harness is the orchestration layer above :mod:`repro.eval`:
   re-runs and overlapping sweeps are served from disk.
 * :mod:`repro.harness.artifacts` — JSON round-tripping of every result
   dataclass plus an artifact store for archiving experiment outputs.
+* :mod:`repro.harness.executor` — execution backends: serial in-process
+  execution and the persistent warm process pool the engine shares across
+  sweep phases, plus the typed failure records (``UnitFailure`` /
+  ``SweepError``) of per-unit failure isolation.
 * :mod:`repro.harness.runner` — fans benchmark (case × config) units out
-  over a process pool with deterministic, order-independent result
-  assembly.
+  over an executor backend with deterministic, order-independent result
+  assembly, per-dispatch batching and retry-in-a-fresh-worker failure
+  handling.
 * :mod:`repro.harness.sweep` — grid sweeps: :class:`SweepGrid` products of
   experiments and config overrides (e.g. core counts), the substrate of
   the ``scaling_curves`` experiment.
@@ -35,11 +40,19 @@ from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import (
     PerfTrajectory,
     measure_case,
+    measure_pool,
     measure_synthetic,
     run_engine_bench,
 )
 from repro.harness.cache import CacheStats, ResultCache
 from repro.harness.engine import ExperimentEngine
+from repro.harness.executor import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepError,
+    UnitFailure,
+)
 from repro.harness.hashing import (
     CACHE_SCHEMA,
     canonical_case_config,
@@ -63,14 +76,19 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
     "CaseUnit",
+    "ExecutorBackend",
     "ExperimentEngine",
     "GridPoint",
     "GridResult",
     "NullProgress",
     "PerfTrajectory",
+    "ProcessPoolBackend",
     "Progress",
     "ResultCache",
+    "SerialBackend",
+    "SweepError",
     "SweepGrid",
+    "UnitFailure",
     "apply_overrides",
     "canonical_case_config",
     "case_cache_key",
@@ -80,6 +98,7 @@ __all__ = [
     "experiment_cache_key",
     "grid_cache_key",
     "measure_case",
+    "measure_pool",
     "measure_synthetic",
     "run_case_grid",
     "run_cases",

@@ -33,6 +33,7 @@ from repro.eval.mtt import MttBound
 from repro.eval.overhead import OverheadMeasurement
 from repro.eval.resources import ResourceEntry
 from repro.eval.scaling import ScalingCurve, ScalingPoint
+from repro.harness.executor import UnitFailure
 from repro.runtime.base import RuntimeResult
 
 __all__ = ["ARTIFACT_TYPES", "encode", "decode", "ArtifactStore"]
@@ -53,6 +54,7 @@ ARTIFACT_TYPES: Dict[str, Type] = {
         ScalingPoint,
         StudyResult,
         StudySweep,
+        UnitFailure,
     )
 }
 

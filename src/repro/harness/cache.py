@@ -16,11 +16,18 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional
 
 __all__ = ["CacheStats", "ResultCache"]
+
+#: Age (seconds) past which a ``*.tmp`` sibling counts as a stale dropping
+#: of a killed writer rather than a concurrent in-flight write.  Real
+#: writes live for milliseconds; an hour is conservatively beyond any of
+#: them.
+_STALE_TMP_SECONDS = 3600.0
 
 
 @dataclass
@@ -113,7 +120,12 @@ class ResultCache:
     # Maintenance
     # ------------------------------------------------------------------ #
     def entries(self) -> Iterator[Path]:
-        """Every entry file currently in the cache."""
+        """Every entry file currently in the cache.
+
+        The listing is a snapshot of a directory other processes may be
+        mutating; consumers (:meth:`size_bytes`, :meth:`clear`) tolerate
+        entries that vanish between listing and use.
+        """
         if not self.root.is_dir():
             return
         yield from sorted(self.root.glob("*/*.json"))
@@ -122,11 +134,31 @@ class ResultCache:
         return sum(1 for _ in self.entries())
 
     def size_bytes(self) -> int:
-        """Total on-disk size of all entries."""
-        return sum(path.stat().st_size for path in self.entries())
+        """Total on-disk size of all entries.
+
+        An entry deleted concurrently (another process clearing, or a
+        ``demote_hit``) is simply skipped rather than raising from
+        ``stat()``.
+        """
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
+        """Delete every entry; returns the number of entries removed.
+
+        Also sweeps stale ``*.tmp`` siblings — the droppings of a writer
+        killed between ``NamedTemporaryFile`` and ``os.replace`` — which
+        would otherwise accumulate forever (they are never addressed by
+        any key).  Only temporaries older than an hour are swept, so a
+        *concurrent* writer's in-flight temporary is never pulled out from
+        under its ``os.replace``; temporaries do not count toward the
+        return value.
+        """
         removed = 0
         for path in list(self.entries()):
             try:
@@ -134,4 +166,12 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        if self.root.is_dir():
+            cutoff = time.time() - _STALE_TMP_SECONDS
+            for stale in list(self.root.glob("*/*.tmp")):
+                try:
+                    if stale.stat().st_mtime < cutoff:
+                        stale.unlink()
+                except OSError:
+                    pass
         return removed

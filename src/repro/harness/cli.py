@@ -19,8 +19,13 @@ runnable from the command line; unknown names fail with a did-you-mean
 suggestion listing the registered names.
 
 ``run`` drives the :class:`~repro.harness.engine.ExperimentEngine`, so every
-invocation benefits from the result cache and the process-pool sweep, and
-renders the same rows/series the paper reports.  (The overhead-based bound
+invocation benefits from the result cache and the engine's persistent warm
+worker pool, and renders the same rows/series the paper reports.  Sweeps
+isolate unit failures: a failing unit is retried in a fresh worker
+(``--retries``, default 1) and remaining failures either abort the run
+with one aggregated error naming every failed unit, or — with
+``--keep-going`` — are reported on stderr while the run finishes with
+partial results and exit code 0.  (The overhead-based bound
 experiments accept tuning knobs — ``--num-tasks`` here, explicit task-size
 grids in ``examples/reproduce_paper.py`` — so absolute bound values may
 differ between entry points when those knobs differ.)
@@ -238,6 +243,8 @@ def _build_engine(args: argparse.Namespace, jobs: int,
         progress=NullProgress() if args.quiet else Progress(),
         bench_path=args.bench_out,
         run_label=run_label,
+        keep_going=getattr(args, "keep_going", False),
+        retries=getattr(args, "retries", 1),
     )
 
 
@@ -247,6 +254,23 @@ def _print_cache_stats(engine: ExperimentEngine, quiet: bool) -> None:
     if not quiet and stats.lookups:
         print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
               f"({stats.hit_rate * 100:.0f}% hit rate)", file=sys.stderr)
+
+
+def _print_failures(engine: ExperimentEngine) -> None:
+    """Report every failed sweep unit on stderr (``--keep-going`` runs).
+
+    Printed even under ``--quiet``: a failure report documents missing
+    data, not progress, so it must never be suppressed.
+    """
+    # Partial results re-served from the sweep memo re-report their
+    # failures; collapse those repeats for the human-facing summary.
+    failures = list(dict.fromkeys(engine.unit_failures))
+    if not failures:
+        return
+    print(f"{len(failures)} unit(s) failed (results are partial):",
+          file=sys.stderr)
+    for failure in failures:
+        print(f"  FAILED {failure.describe()}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -264,9 +288,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "before resolving names; also honours "
                               f"${PLUGINS_ENV} (comma-separated)")
 
+    resilience = argparse.ArgumentParser(add_help=False)
+    resilience.add_argument("--keep-going", action="store_true",
+                            help="don't abort the sweep when a unit fails: "
+                                 "finish everything else, report the "
+                                 "failures, exit 0 with partial results")
+    resilience.add_argument("--retries", type=int, default=1,
+                            help="re-attempts per failed unit, each in a "
+                                 "fresh worker process (default 1)")
+
     run = sub.add_parser(
         "run", help="run one or more experiments (or 'all')",
-        parents=[plugins],
+        parents=[plugins, resilience],
     )
     run.add_argument("experiments", nargs="+",
                      help=f"experiment ids ({', '.join(_RUN_ORDER)}) or 'all'")
@@ -312,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="grid sweeps: an experiment across core counts "
              "(default: scaling_curves)",
-        parents=[plugins],
+        parents=[plugins, resilience],
     )
     sweep.add_argument("--experiment", default="scaling_curves",
                        help="experiment to sweep (default scaling_curves)")
@@ -398,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME[,NAME...]",
                        help="runtimes the timed case runs on (serial "
                             "always runs)")
+    bench.add_argument("--no-pool", action="store_true",
+                       help="skip the worker-pool warm-up/dispatch "
+                            "overhead measurement")
     bench.add_argument("--output", type=Path, default=None,
                        help=f"trajectory file to append to (default "
                             f"{DEFAULT_TRAJECTORY}; use '-' to disable)")
@@ -472,6 +508,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         repeats=args.repeats,
         workload=args.workload,
         runtimes=args.runtimes,
+        include_pool=not args.no_pool,
     )
     if args.format == "json":
         print(json.dumps(entry, indent=2, sort_keys=True), file=out)
@@ -483,6 +520,11 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
         if case:
             print(f"figure9 case:       {case['case']} in "
                   f"{case['seconds']:.3f}s", file=out)
+        pool = entry.get("pool")
+        if pool:
+            print(f"worker pool:        {pool['warmup_seconds']:.3f}s "
+                  f"warm-up, {pool['dispatch_per_round_seconds'] * 1e3:.1f}ms"
+                  f"/dispatch warm ({pool['workers']} workers)", file=out)
     if args.output is None or str(args.output) != "-":
         path = args.output if args.output is not None \
             else Path(DEFAULT_TRAJECTORY)
@@ -507,6 +549,15 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     jobs = args.jobs if args.jobs is not None else _default_jobs()
     engine = _build_engine(args, jobs,
                            run_label=f"cli:sweep {args.experiment}")
+    try:
+        return _run_sweep_command(args, engine, cores, out)
+    finally:
+        engine.close()
+
+
+def _run_sweep_command(args: argparse.Namespace, engine: ExperimentEngine,
+                       cores: List[int], out) -> int:
+    """The body of ``sweep``, with the engine's lifetime managed above."""
     cases = _selected_cases(args)
     if args.experiment == "scaling_curves":
         result = engine.run("scaling_curves", quick=args.quick,
@@ -542,6 +593,7 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             for item in results:
                 store.save(item.point.label.replace("/", "_"),
                            item.result, cores=dict(item.point.overrides))
+    _print_failures(engine)
     _print_cache_stats(engine, args.quiet)
     return 0
 
@@ -561,29 +613,34 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             return 2
     engine = _build_engine(args, args.jobs,
                            run_label=f"cli:run {','.join(selected)}")
-    cases = _selected_cases(args)
-    json_payload = {}
-    for experiment_id in selected:
-        result = engine.run(
-            experiment_id,
-            quick=args.quick,
-            scale=args.scale,
-            num_workers=args.workers,
-            num_tasks=args.num_tasks,
-            cases=_cases_for(args, cases, experiment_id),
-            runtimes=_runtimes_for(args, experiment_id),
-        )
+    try:
+        cases = _selected_cases(args)
+        json_payload = {}
+        for experiment_id in selected:
+            result = engine.run(
+                experiment_id,
+                quick=args.quick,
+                scale=args.scale,
+                num_workers=args.workers,
+                num_tasks=args.num_tasks,
+                cases=_cases_for(args, cases, experiment_id),
+                runtimes=_runtimes_for(args, experiment_id),
+            )
+            if args.format == "json":
+                json_payload[experiment_id] = encode(result)
+            else:
+                title = EXPERIMENT_SPECS[experiment_id].title
+                print(f"\n=== {experiment_id}: {title} ===", file=out)
+                print(render_report(experiment_id, result,
+                                    runtimes=args.runtimes), file=out)
         if args.format == "json":
-            json_payload[experiment_id] = encode(result)
-        else:
-            title = EXPERIMENT_SPECS[experiment_id].title
-            print(f"\n=== {experiment_id}: {title} ===", file=out)
-            print(render_report(experiment_id, result,
-                                runtimes=args.runtimes), file=out)
-    if args.format == "json":
-        print(json.dumps(json_payload, indent=2, sort_keys=True), file=out)
-    _print_cache_stats(engine, args.quiet)
-    return 0
+            print(json.dumps(json_payload, indent=2, sort_keys=True),
+                  file=out)
+        _print_failures(engine)
+        _print_cache_stats(engine, args.quiet)
+        return 0
+    finally:
+        engine.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

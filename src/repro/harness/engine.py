@@ -18,6 +18,19 @@ curves against the MTT bounds (:mod:`repro.eval.scaling`).  Because cache
 keys canonicalise the worker count into the configuration, the 8-core
 column of a scaling sweep addresses exactly the Figure 9 entries.
 
+The engine owns one :class:`~repro.harness.executor.ExecutorBackend`
+(serial for ``jobs=1``, a persistent warm process pool otherwise) shared
+by every sweep, grid and scaling phase it drives, so a multi-phase study
+builds one pool and reuses warm workers instead of re-importing the
+package per sweep; :meth:`close` (or using the engine as a context
+manager) releases it.  Failure isolation is engine-wide too: a failing
+unit becomes a :class:`~repro.harness.executor.UnitFailure` (retried
+``retries`` times in a fresh worker first), and sweeps either raise one
+aggregated :class:`~repro.harness.executor.SweepError` or — when the
+engine was built with ``keep_going=True`` — deliver partial results while
+collecting every failure in :attr:`unit_failures`, with everything
+completed already landed in the cache.
+
 When constructed with ``bench_path``, the engine appends one ``"sweep"``
 entry of per-case wall-clock seconds to that ``BENCH_engine.json``
 trajectory (:class:`repro.harness.bench.PerfTrajectory`) after every sweep
@@ -47,6 +60,7 @@ from repro.eval.overhead import measure_lifetime_overhead
 from repro.eval.scaling import (
     DEFAULT_OVERHEAD_NUM_TASKS,
     ScalingCurve,
+    align_runs_by_cores,
     build_scaling_curves,
     normalize_core_counts,
     normalize_runtimes,
@@ -54,6 +68,12 @@ from repro.eval.scaling import (
 from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import PerfTrajectory
 from repro.harness.cache import CacheStats, ResultCache
+from repro.harness.executor import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    UnitFailure,
+)
 from repro.harness.hashing import (
     canonical_case_config,
     experiment_cache_key,
@@ -89,18 +109,26 @@ class ExperimentEngine:
         progress: Optional[Progress] = None,
         bench_path: Optional[Path] = None,
         run_label: Optional[str] = None,
+        keep_going: bool = False,
+        retries: int = 1,
     ) -> None:
         """Create an engine.
 
-        ``jobs`` is the process-pool width of the benchmark sweep;
+        ``jobs`` is the worker-pool width of the benchmark sweep;
         ``cache_dir`` enables the on-disk result cache; ``artifact_dir``
         archives every experiment result as JSON; ``bench_path`` appends
         per-case sweep timings to a ``BENCH_engine.json`` trajectory, and
         ``run_label`` is recorded on every trajectory entry so bench data
         is attributable to the Study/CLI invocation that produced it.
+        ``retries`` is how many times a failing sweep unit is re-attempted
+        in a fresh worker; ``keep_going`` turns failed sweeps into partial
+        results plus :attr:`unit_failures` records instead of an
+        aggregated :class:`~repro.harness.executor.SweepError`.
         """
         if jobs <= 0:
             raise EvaluationError("jobs must be positive")
+        if retries < 0:
+            raise EvaluationError("retries must be >= 0")
         self.config = config if config is not None else SimConfig()
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
@@ -110,6 +138,11 @@ class ExperimentEngine:
         self.trajectory = (PerfTrajectory(bench_path)
                            if bench_path is not None else None)
         self.run_label = run_label
+        self.keep_going = keep_going
+        self.retries = retries
+        #: Every :class:`UnitFailure` any sweep of this engine produced
+        #: (only populated under ``keep_going``; strict sweeps raise).
+        self.unit_failures: List[UnitFailure] = []
         #: Wall-clock seconds per simulated case of the most recent sweep
         #: (empty when the sweep was fully served from cache/memo).
         self.case_timings: dict = {}
@@ -117,6 +150,39 @@ class ExperimentEngine:
         # cases), so chained derived experiments and grid points in one
         # engine share the Figure 9 runs even with no disk cache.
         self._sweep_memo: dict = {}
+        # Failures of partial (keep-going) sweeps, by memo key: a
+        # memo-served partial sweep must re-report its losses, so callers
+        # (and the scaling partiality check) never mistake a gap-ridden
+        # result for a complete one.
+        self._partial_memo: dict = {}
+        # The persistent execution backend, built lazily on first use and
+        # shared by every sweep/grid/scaling phase this engine drives.
+        self._executor: Optional[ExecutorBackend] = None
+
+    @property
+    def executor(self) -> ExecutorBackend:
+        """The engine's execution backend (a warm pool when ``jobs > 1``).
+
+        Created on first access and kept until :meth:`close`, so
+        multi-phase runs (a Study's scaling grid plus its per-count
+        sweeps, or ``repro run all``) reuse one set of warm workers.
+        """
+        if self._executor is None:
+            self._executor = (SerialBackend() if self.jobs == 1
+                              else ProcessPoolBackend(self.jobs))
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the execution backend down (idempotent; lazily rebuilt)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -244,11 +310,24 @@ class ExperimentEngine:
             config, quick, scale, num_workers, cases, runtimes)
         if memo_key in self._sweep_memo:
             self.case_timings = {}
+            # A memo-served *partial* sweep re-reports its failures, so
+            # the result is never mistaken for a complete one.
+            self.unit_failures.extend(self._partial_memo.get(memo_key, ()))
             return list(self._sweep_memo[memo_key])
         timings: dict = {}
+        failures: List[UnitFailure] = []
         runs = run_cases(config, selected, workers, jobs=self.jobs,
                          cache=self.cache, progress=self.progress,
-                         timings=timings, runtimes=selection)
+                         timings=timings, runtimes=selection,
+                         executor=self.executor,
+                         keep_going=self.keep_going, retries=self.retries,
+                         failures=failures)
+        self.unit_failures.extend(failures)
+        if failures:
+            self._partial_memo[memo_key] = tuple(failures)
+        # Under keep-going, failed slots come back as None; the sweep's
+        # result (and memo) is the completed runs.
+        runs = [run for run in runs if run is not None]
         self.case_timings = timings
         if self.trajectory is not None:
             self.trajectory.record_sweep("figure9", timings,
@@ -308,15 +387,31 @@ class ExperimentEngine:
             for case in selected
         ]
         timings: dict = {}
+        failures: List[UnitFailure] = []
         runs = run_case_grid(units, jobs=self.jobs, cache=self.cache,
-                             progress=self.progress, timings=timings)
+                             progress=self.progress, timings=timings,
+                             executor=self.executor,
+                             keep_going=self.keep_going,
+                             retries=self.retries, failures=failures)
+        self.unit_failures.extend(failures)
         self.case_timings = timings
         if self.trajectory is not None:
             self.trajectory.record_sweep("grid", timings,
                                          label=self.run_label)
+        # Results are slot-aligned with the submitted units (failed slots
+        # are None under keep-going), so per-point slicing stays correct
+        # even for partial sweeps; each point memoises its completed runs
+        # and, when partial, the failures that belong to its slot range.
         offset = 0
         for memo_key, _config, _workers, selected, _sel in pending:
-            self._sweep_memo[memo_key] = runs[offset:offset + len(selected)]
+            point_runs = runs[offset:offset + len(selected)]
+            self._sweep_memo[memo_key] = [run for run in point_runs
+                                          if run is not None]
+            point_failures = tuple(
+                failure for failure in failures
+                if offset <= failure.slot < offset + len(selected))
+            if point_failures:
+                self._partial_memo[memo_key] = point_failures
             offset += len(selected)
 
     def _run_point(
@@ -493,6 +588,7 @@ class ExperimentEngine:
                 self.cache.demote_hit(key)
         grid = SweepGrid.cores(("figure9",), counts)
         points = grid.points()
+        failures_before = len(self.unit_failures)
         self._prime_grid_sweeps(points, quick, scale, cases,
                                 base_config=config,
                                 runtimes=selected_runtimes)
@@ -505,9 +601,17 @@ class ExperimentEngine:
                 quick, scale, None, cases, config=point_config,
                 runtimes=selected_runtimes)
         self.case_timings = grid_timings
+        partial = len(self.unit_failures) > failures_before
+        if partial:
+            # Keep-going mode with failures: assemble curves from the
+            # cases that completed at *every* core count, so one failed
+            # column doesn't abort the whole experiment.
+            runs_by_cores, _dropped = align_runs_by_cores(runs_by_cores)
         overheads = self.scaling_overheads(selected_runtimes, config=config)
         curves = build_scaling_curves(runs_by_cores, overheads,
                                       selected_runtimes)
-        if self.cache is not None and key is not None:
+        if self.cache is not None and key is not None and not partial:
+            # A partial curve set must never be cached under the
+            # full-grid key: a later healthy run would be served the gaps.
             self.cache.put(key, encode(curves), experiment="scaling_curves")
         return curves

@@ -33,10 +33,11 @@ class Progress:
         if total:
             print(f"{label}: {total} unit(s)", file=self.stream, flush=True)
 
-    def advance(self, description: str, cached: bool = False) -> None:
-        """Record one completed unit."""
+    def advance(self, description: str, cached: bool = False,
+                failed: bool = False) -> None:
+        """Record one resolved unit (completed, cache-served, or failed)."""
         self._done += 1
-        suffix = " (cached)" if cached else ""
+        suffix = " (cached)" if cached else (" (FAILED)" if failed else "")
         print(f"  [{self._done}/{self._total}] {description}{suffix}",
               file=self.stream, flush=True)
 
@@ -56,7 +57,8 @@ class NullProgress(Progress):
     def start(self, label: str, total: int) -> None:
         pass
 
-    def advance(self, description: str, cached: bool = False) -> None:
+    def advance(self, description: str, cached: bool = False,
+                failed: bool = False) -> None:
         pass
 
     def finish(self) -> None:

@@ -1,19 +1,34 @@
 """Parallel execution of benchmark cases with cached, deterministic results.
 
-The runner fans benchmark work out over a ``concurrent.futures`` process
-pool.  The unit of work is one :class:`CaseUnit` — a benchmark case under
-one configuration and simulated worker count — executed by the same
-case-level hook the serial path uses
-(:func:`repro.eval.experiments.run_benchmark_case`), in a fresh worker
-process with its own simulator state, so parallel results are identical to
-serial ones.  Assembly is order-independent: results land in a slot indexed
-by the unit's position in the input list, whatever order workers finish in.
+The runner fans benchmark work out over an
+:class:`~repro.harness.executor.ExecutorBackend` — in-process for
+``jobs=1``, a (possibly engine-owned, persistent) process pool otherwise.
+The unit of work is one :class:`CaseUnit` — a benchmark case under one
+configuration and simulated worker count — executed by the same case-level
+hook the serial path uses
+(:func:`repro.eval.experiments.run_benchmark_case`), in a worker process
+with its own simulator state, so parallel results are identical to serial
+ones.  Units are grouped into small batches per dispatch
+(:func:`~repro.harness.executor.batch_size`) to amortise IPC, and assembly
+is order-independent: results land in a slot indexed by the unit's position
+in the input list, whatever order workers finish in.
 
 :func:`run_cases` is the classic single-configuration sweep (all of
 Figure 9); :func:`run_case_grid` executes a heterogeneous unit list — the
 same cases under many configurations, e.g. the (case × core count) product
-of a scaling sweep — through one shared pool, so a grid's wall clock is
+of a scaling sweep — through one shared backend, so a grid's wall clock is
 bounded by total work, not by its slowest column.
+
+Failures are isolated per unit: a unit whose builder or simulation raises
+becomes a typed :class:`~repro.harness.executor.UnitFailure` instead of
+aborting the sweep.  Failed units are retried (``retries`` times, once by
+default) in a fresh worker process — a guard against poisoned interpreter
+state — and a sweep that still has failures either raises one aggregated
+:class:`~repro.harness.executor.SweepError` naming every failed unit, or,
+with ``keep_going=True``, returns the completed runs (failed slots are
+``None``, keeping results zippable against the input units) plus the
+failure list through the ``failures`` out-parameter.  Either way, every
+completed unit has already landed in the result cache.
 
 When a :class:`~repro.harness.cache.ResultCache` is supplied, each unit is
 looked up before any work is scheduled and stored (JSON-encoded) as soon as
@@ -32,7 +47,6 @@ into the ``BENCH_engine.json`` perf trajectory
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +61,14 @@ from repro.eval.experiments import (
 )
 from repro.harness.artifacts import decode, encode
 from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SweepError,
+    UnitFailure,
+    batch_size,
+)
 from repro.harness.hashing import case_cache_key
 from repro.harness.progress import NullProgress, Progress
 
@@ -103,7 +125,7 @@ def _plugin_payload(unit: "CaseUnit") -> Tuple[Optional[object], Dict, Tuple]:
     plugin_runtimes = {}
     for name in unit.runtimes or ():
         runtime_spec = registry.runtime(name)
-        if runtime_spec.cls.__module__.partition(".")[0] != "repro":
+        if (runtime_spec.cls.__module__ or "").partition(".")[0] != "repro":
             source = registry.plugin_file_of(runtime_spec.cls)
             if source is not None:
                 plugin_files.append(source)
@@ -113,30 +135,65 @@ def _plugin_payload(unit: "CaseUnit") -> Tuple[Optional[object], Dict, Tuple]:
     return builder, plugin_runtimes, tuple(dict.fromkeys(plugin_files))
 
 
+def _register_payload(builders: Dict[str, object],
+                      plugin_runtimes: Dict[str, Tuple[type, int]],
+                      plugin_files: Tuple[str, ...]) -> None:
+    """Worker-side plugin registration; idempotent, so warm workers that
+    already saw a payload in an earlier batch re-register nothing."""
+    for path in plugin_files:
+        registry.load_plugin(path)
+    for name, builder in builders.items():
+        registry.ensure_workload(name, builder)
+    for name, (cls, rank) in plugin_runtimes.items():
+        registry.ensure_runtime(name, cls, rank=rank)
+
+
 def _execute_case(config: SimConfig, case: BenchmarkCase, num_workers: int,
                   runtimes: Optional[Tuple[str, ...]] = None,
                   plugin_builder: Optional[object] = None,
                   plugin_runtimes: Optional[Dict] = None,
                   plugin_files: Tuple[str, ...] = ()
                   ) -> Tuple[BenchmarkRun, float]:
-    """Worker entry point: run and time one case on its runtimes.
+    """Single-unit worker entry point: run and time one case.
 
     Returns ``(run, wall_seconds)``; both halves are picklable so the pair
-    travels back from process-pool workers unchanged.  Timing happens here,
-    in the worker, so parallel sweeps measure simulation cost rather than
-    pool scheduling latency.  The ``plugin_*`` parameters carry plugin
+    travels back from worker processes unchanged.  Timing happens here, in
+    the worker, so parallel sweeps measure simulation cost rather than pool
+    scheduling latency.  The ``plugin_*`` parameters carry plugin
     registrations into workers whose registry only holds the built-ins
     (see :func:`_plugin_payload`).
     """
-    for path in plugin_files:
-        registry.load_plugin(path)
-    if plugin_builder is not None:
-        registry.ensure_workload(case.builder, plugin_builder)
-    for name, (cls, rank) in (plugin_runtimes or {}).items():
-        registry.ensure_runtime(name, cls, rank=rank)
+    builders = ({case.builder: plugin_builder}
+                if plugin_builder is not None else {})
+    _register_payload(builders, plugin_runtimes or {}, plugin_files)
     started = time.perf_counter()
     run = run_benchmark_case(case, config, num_workers, runtimes)
     return run, time.perf_counter() - started
+
+
+def _execute_batch(payload: Tuple[Dict, Dict, Tuple],
+                   tasks: Tuple[Tuple, ...]) -> List[Tuple]:
+    """Batched worker entry point with per-unit failure isolation.
+
+    ``payload`` is the merged plugin payload of the whole batch,
+    registered once per dispatch (and a no-op in a warm worker that
+    already saw it); ``tasks`` are ``(config, case, num_workers,
+    runtimes)`` tuples.  Returns one outcome per task, in order:
+    ``("ok", run, seconds)`` or ``("err", error_type, error_text)`` — unit
+    exceptions are *data*, never raised, so one bad unit cannot take the
+    batch (or the pool) down with it.
+    """
+    _register_payload(*payload)
+    outcomes: List[Tuple] = []
+    for config, case, num_workers, runtimes in tasks:
+        started = time.perf_counter()
+        try:
+            run = run_benchmark_case(case, config, num_workers, runtimes)
+        except Exception as exc:
+            outcomes.append(("err", type(exc).__name__, str(exc)))
+        else:
+            outcomes.append(("ok", run, time.perf_counter() - started))
+    return outcomes
 
 
 def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
@@ -154,6 +211,102 @@ def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
     return run
 
 
+def _merged_payload(items: Sequence[Tuple[int, CaseUnit, Optional[str]]]
+                    ) -> Tuple[Dict, Dict, Tuple]:
+    """One deduplicated plugin payload for a whole batch of units."""
+    builders: Dict[str, object] = {}
+    plugin_runtimes: Dict[str, Tuple[type, int]] = {}
+    plugin_files: List[str] = []
+    for _slot, unit, _key in items:
+        builder, unit_runtimes, unit_files = _plugin_payload(unit)
+        if builder is not None:
+            builders[unit.case.builder] = builder
+        plugin_runtimes.update(unit_runtimes)
+        plugin_files.extend(unit_files)
+    return builders, plugin_runtimes, tuple(dict.fromkeys(plugin_files))
+
+
+def _unit_task(unit: CaseUnit) -> Tuple:
+    return unit.config, unit.case, unit.num_workers, unit.runtimes
+
+
+def _describe_error(exc: BaseException) -> Tuple[str, str]:
+    return type(exc).__name__, str(exc)
+
+
+def _dispatch_pending(
+    backend: ExecutorBackend,
+    pending: Sequence[Tuple[int, CaseUnit, Optional[str]]],
+    retries: int,
+    record,
+    fail,
+) -> None:
+    """Drive ``pending`` units through ``backend`` with retry-on-failure.
+
+    First round: units are batched and fanned out through
+    :meth:`~repro.harness.executor.ExecutorBackend.dispatch`; a unit-level
+    exception (reported as an ``("err", ...)`` outcome) or a batch-level
+    one (a dead worker broke the pool) marks its units failed-once.  Retry
+    rounds then re-execute each failed unit individually in a *fresh*
+    worker (:meth:`run_isolated`), up to ``retries`` extra attempts; what
+    still fails is reported through ``fail(slot, unit, error_type, error,
+    attempts)``.  Completed units are reported through ``record`` exactly
+    once, whichever round they complete in.
+    """
+    size = batch_size(len(pending), backend.width)
+    batches = [tuple(pending[start:start + size])
+               for start in range(0, len(pending), size)]
+    jobs = [(_merged_payload(items),
+             tuple(_unit_task(unit) for _slot, unit, _key in items),
+             items)
+            for items in batches]
+
+    # (item, payload, error_type, error_text, attempts so far)
+    failed: List[Tuple] = []
+    for index, outcome in backend.dispatch(
+            _execute_batch, [(payload, tasks) for payload, tasks, _ in jobs]):
+        payload, tasks, items = jobs[index]
+        if isinstance(outcome, BaseException):
+            # The whole batch died (worker crash / transport failure):
+            # every unit of it gets the batch's error as its first attempt.
+            error_type, error_text = _describe_error(outcome)
+            failed.extend((item, payload, error_type, error_text, 1)
+                          for item in items)
+            continue
+        for position, item in enumerate(items):
+            unit_outcome = (outcome[position] if position < len(outcome)
+                            else ("err", "EvaluationError",
+                                  "batch returned no outcome for this unit"))
+            if unit_outcome[0] == "ok":
+                record(item, unit_outcome[1], unit_outcome[2])
+            else:
+                failed.append((item, payload,
+                               unit_outcome[1], unit_outcome[2], 1))
+
+    attempt = 1
+    while failed and attempt <= retries:
+        attempt += 1
+        still_failed: List[Tuple] = []
+        for item, payload, _error_type, _error_text, _attempts in failed:
+            _slot, unit, _key = item
+            try:
+                outcomes = backend.run_isolated(
+                    _execute_batch, payload, (_unit_task(unit),))
+                unit_outcome = outcomes[0]
+            except Exception as exc:
+                unit_outcome = ("err", *_describe_error(exc))
+            if unit_outcome[0] == "ok":
+                record(item, unit_outcome[1], unit_outcome[2])
+            else:
+                still_failed.append((item, payload, unit_outcome[1],
+                                     unit_outcome[2], attempt))
+        failed = still_failed
+
+    for item, _payload, error_type, error_text, attempts in failed:
+        slot, unit, _key = item
+        fail(slot, unit, error_type, error_text, attempts)
+
+
 def _run_units(
     units: Sequence[CaseUnit],
     timing_keys: Sequence[str],
@@ -162,29 +315,25 @@ def _run_units(
     progress: Optional[Progress],
     timings: Optional[Dict[str, float]],
     title: str,
-) -> List[BenchmarkRun]:
-    """Execute ``units`` and return their runs in input order."""
+    executor: Optional[ExecutorBackend] = None,
+    keep_going: bool = False,
+    retries: int = 1,
+    failures: Optional[List[UnitFailure]] = None,
+) -> List[Optional[BenchmarkRun]]:
+    """Execute ``units``; results come back slot-aligned with the input."""
     if jobs <= 0:
         raise EvaluationError("jobs must be positive")
+    if retries < 0:
+        raise EvaluationError("retries must be >= 0")
     progress = progress if progress is not None else NullProgress()
     progress.start(title, len(units))
 
     results: List[Optional[BenchmarkRun]] = [None] * len(units)
-    pending = []  # (slot, unit, cache key)
-    for slot, unit in enumerate(units):
-        key = None
-        if cache is not None:
-            key = case_cache_key(unit.case, unit.config, unit.num_workers,
-                                 runtimes=unit.runtimes)
-            run = _decode_cached_run(cache, key)
-            if run is not None:
-                results[slot] = run
-                progress.advance(timing_keys[slot], cached=True)
-                continue
-        pending.append((slot, unit, key))
+    failed: Dict[int, UnitFailure] = {}
 
-    def record(slot: int, unit: CaseUnit, key: Optional[str],
+    def record(item: Tuple[int, CaseUnit, Optional[str]],
                run: BenchmarkRun, seconds: float) -> None:
+        slot, unit, key = item
         results[slot] = run
         if cache is not None and key is not None:
             cache.put(key, encode(run), case=unit.case.key,
@@ -193,28 +342,61 @@ def _run_units(
             timings[timing_keys[slot]] = seconds
         progress.advance(timing_keys[slot])
 
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {}
-            for slot, unit, key in pending:
-                builder, plugin_runtimes, plugin_files = \
-                    _plugin_payload(unit)
-                future = pool.submit(_execute_case, unit.config, unit.case,
-                                     unit.num_workers, unit.runtimes,
-                                     builder, plugin_runtimes, plugin_files)
-                futures[future] = (slot, unit, key)
-            for future in as_completed(futures):
-                slot, unit, key = futures[future]
-                run, seconds = future.result()
-                record(slot, unit, key, run, seconds)
-    else:
-        for slot, unit, key in pending:
-            run, seconds = _execute_case(unit.config, unit.case,
-                                         unit.num_workers, unit.runtimes)
-            record(slot, unit, key, run, seconds)
+    def fail(slot: int, unit: CaseUnit, error_type: str, error: str,
+             attempts: int) -> None:
+        failed[slot] = UnitFailure(key=unit.key, slot=slot,
+                                   error_type=error_type, error=error,
+                                   attempts=attempts)
+        progress.advance(timing_keys[slot], failed=True)
 
-    progress.finish()
-    return [run for run in results if run is not None]
+    try:
+        pending = []  # (slot, unit, cache key)
+        for slot, unit in enumerate(units):
+            key = None
+            if cache is not None:
+                key = case_cache_key(unit.case, unit.config, unit.num_workers,
+                                     runtimes=unit.runtimes)
+                run = _decode_cached_run(cache, key)
+                if run is not None:
+                    results[slot] = run
+                    progress.advance(timing_keys[slot], cached=True)
+                    continue
+            pending.append((slot, unit, key))
+
+        if pending:
+            backend = executor
+            owned = backend is None
+            if owned:
+                backend = (SerialBackend()
+                           if jobs == 1 or len(pending) == 1 else
+                           ProcessPoolBackend(min(jobs, len(pending))))
+            try:
+                _dispatch_pending(backend, pending, retries, record, fail)
+            finally:
+                if owned:
+                    backend.close()
+    finally:
+        # The progress line must close however the dispatch ends — a
+        # worker exception used to leave it dangling mid-render.
+        progress.finish()
+
+    sweep_failures = [failed[slot] for slot in sorted(failed)]
+    if failures is not None:
+        failures.extend(sweep_failures)
+    completed = sum(1 for run in results if run is not None)
+    if sweep_failures and not keep_going:
+        raise SweepError(sweep_failures, completed=completed,
+                         total=len(units))
+    unfilled = [units[slot].key for slot, run in enumerate(results)
+                if run is None and slot not in failed]
+    if unfilled:
+        # Every pending unit must resolve to a run or a UnitFailure; a
+        # silently-dropped slot would mis-zip runs against cases downstream.
+        raise EvaluationError(
+            f"{title} left {len(unfilled)} unit slot(s) unfilled: "
+            f"{', '.join(unfilled)}"
+        )
+    return results
 
 
 def run_cases(
@@ -226,13 +408,25 @@ def run_cases(
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
     runtimes: Optional[Sequence[str]] = None,
-) -> List[BenchmarkRun]:
+    executor: Optional[ExecutorBackend] = None,
+    keep_going: bool = False,
+    retries: int = 1,
+    failures: Optional[List[UnitFailure]] = None,
+) -> List[Optional[BenchmarkRun]]:
     """Execute ``cases`` under one config; runs come back in input order.
 
     ``num_workers`` is the number of *simulated* cores each non-serial
     runtime uses; ``jobs`` is the number of *host* processes the sweep fans
     out over (1 keeps everything in-process).  ``runtimes`` selects the
-    runtimes each case runs on (default: the registry's case set).
+    runtimes each case runs on (default: the registry's case set).  An
+    ``executor`` backend may be injected (e.g. the engine's persistent
+    warm pool); otherwise a transient one is built from ``jobs``.
+
+    A failing case is retried ``retries`` times in a fresh worker; with
+    ``keep_going`` the sweep returns anyway — failed slots are ``None``,
+    keeping the list zippable against ``cases``, and the failure records
+    are appended to the ``failures`` list — otherwise it raises one
+    :class:`~repro.harness.executor.SweepError` naming every failed case.
 
     When a ``timings`` mapping is passed, it is populated with the
     wall-clock seconds of every case that was actually simulated (keyed by
@@ -242,7 +436,9 @@ def run_cases(
     units = [CaseUnit(config, case, num_workers, selection)
              for case in cases]
     return _run_units(units, [case.key for case in cases], jobs, cache,
-                      progress, timings, "benchmark sweep")
+                      progress, timings, "benchmark sweep",
+                      executor=executor, keep_going=keep_going,
+                      retries=retries, failures=failures)
 
 
 def run_case_grid(
@@ -251,14 +447,23 @@ def run_case_grid(
     cache: Optional[ResultCache] = None,
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
-) -> List[BenchmarkRun]:
+    executor: Optional[ExecutorBackend] = None,
+    keep_going: bool = False,
+    retries: int = 1,
+    failures: Optional[List[UnitFailure]] = None,
+) -> List[Optional[BenchmarkRun]]:
     """Execute a heterogeneous unit list; runs come back in input order.
 
     This is the grid-sweep entry point: units may mix configurations and
     worker counts freely (e.g. every Figure 9 case at 1, 2, 4, ... cores)
-    and all of them share one process pool, so total wall clock tracks
+    and all of them share one executor backend, so total wall clock tracks
     total work.  ``timings`` keys carry the worker count
-    (``case.key@Nw``) to keep grid columns distinguishable.
+    (``case.key@Nw``) to keep grid columns distinguishable.  Failure
+    semantics match :func:`run_cases`: under ``keep_going``, failed slots
+    come back as ``None`` so the list stays zippable against ``units``.
     """
-    return _run_units(list(units), [unit.key for unit in units], jobs,
-                      cache, progress, timings, "grid sweep")
+    units = list(units)
+    return _run_units(units, [unit.key for unit in units], jobs,
+                      cache, progress, timings, "grid sweep",
+                      executor=executor, keep_going=keep_going,
+                      retries=retries, failures=failures)

@@ -1,0 +1,18 @@
+"""An always-failing workload: the crash-injection smoke plugin.
+
+CI loads this through ``--plugin tests/plugins/poison_workload.py`` and
+sweeps it next to a healthy workload: under ``--keep-going`` the sweep
+must complete every other unit and report exactly one failure; without it
+the sweep must exit non-zero naming the poisoned unit.
+"""
+
+from repro.registry import register_workload
+
+
+@register_workload("poison", tags=("smoke",),
+                   description="Always-failing workload (crash-injection "
+                               "smoke)")
+def poison_program(**params):
+    """Raise unconditionally — this workload never builds a program."""
+    raise RuntimeError("poisoned unit (injected failure for the crash "
+                       "smoke)")
