@@ -77,6 +77,9 @@ class StudyResult:
     sweeps: Tuple[StudySweep, ...] = ()
     curves: Tuple[ScalingCurve, ...] = ()
     failures: Tuple["UnitFailure", ...] = ()
+    #: Where the study's telemetry trace was recorded (``Study.trace``),
+    #: or None for an untraced study.
+    trace_path: Optional[str] = None
 
     @property
     def case_keys(self) -> List[str]:
@@ -155,6 +158,7 @@ class Study:
         self._cache_dir: Optional[Path] = None
         self._artifact_dir: Optional[Path] = None
         self._bench_path: Optional[Path] = None
+        self._trace_path: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
     # Scenario selection
@@ -269,6 +273,18 @@ class Study:
         self._bench_path = Path(trajectory_path)
         return self
 
+    def trace(self, trace_path) -> "Study":
+        """Record the study's telemetry stream as JSONL under ``path``.
+
+        The trace carries the run manifest, the phase/sweep/unit span
+        hierarchy and the cache/pool counters
+        (:mod:`repro.harness.telemetry`); digest it with
+        ``python -m repro trace summary PATH``.  The recorded path comes
+        back on :attr:`StudyResult.trace_path`.
+        """
+        self._trace_path = Path(trace_path)
+        return self
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -303,6 +319,7 @@ class Study:
                 run_label=label,
                 keep_going=self._keep_going,
                 retries=self._retries,
+                trace_path=self._trace_path,
             )
         failures_before = len(engine.unit_failures)
         try:
@@ -346,6 +363,9 @@ class Study:
             sweeps=sweeps,
             curves=curves,
             failures=failures,
+            trace_path=(str(self._trace_path)
+                        if self._trace_path is not None and owns_engine
+                        else None),
         )
         if self._artifact_dir is not None:
             from repro.harness.artifacts import ArtifactStore

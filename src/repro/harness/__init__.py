@@ -25,6 +25,9 @@ The harness is the orchestration layer above :mod:`repro.eval`:
 * :mod:`repro.harness.bench` — engine microbenchmarks and the
   ``BENCH_engine.json`` perf trajectory tracking events/sec and per-case
   sweep wall-clock across runs.
+* :mod:`repro.harness.telemetry` — structured run telemetry: hierarchical
+  spans (run → phase → sweep → unit), counters, run manifests and the
+  pluggable sinks (JSONL trace files, the live progress line) they feed.
 * :mod:`repro.harness.cli` — the ``python -m repro`` command-line front end.
 
 Typical usage::
@@ -70,26 +73,52 @@ from repro.harness.sweep import (
     SweepGrid,
     apply_overrides,
 )
+from repro.harness.telemetry import (
+    ConsoleSink,
+    JsonlSink,
+    NullSink,
+    ProgressSink,
+    RunManifest,
+    SpanHandle,
+    TelemetrySink,
+    TraceSummary,
+    Tracer,
+    build_manifest,
+    null_tracer,
+    progress_tracer,
+    read_trace,
+    summarize_trace,
+)
 
 __all__ = [
     "ArtifactStore",
     "CACHE_SCHEMA",
     "CacheStats",
     "CaseUnit",
+    "ConsoleSink",
     "ExecutorBackend",
     "ExperimentEngine",
     "GridPoint",
     "GridResult",
+    "JsonlSink",
     "NullProgress",
+    "NullSink",
     "PerfTrajectory",
     "ProcessPoolBackend",
     "Progress",
+    "ProgressSink",
     "ResultCache",
+    "RunManifest",
     "SerialBackend",
+    "SpanHandle",
     "SweepError",
     "SweepGrid",
+    "TelemetrySink",
+    "TraceSummary",
+    "Tracer",
     "UnitFailure",
     "apply_overrides",
+    "build_manifest",
     "canonical_case_config",
     "case_cache_key",
     "config_fingerprint",
@@ -100,8 +129,12 @@ __all__ = [
     "measure_case",
     "measure_pool",
     "measure_synthetic",
+    "null_tracer",
+    "progress_tracer",
+    "read_trace",
     "run_case_grid",
     "run_cases",
     "run_engine_bench",
     "stable_hash",
+    "summarize_trace",
 ]

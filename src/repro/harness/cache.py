@@ -9,6 +9,18 @@ parameters or the package version simply addresses a different entry.
 Writes are atomic (write to a temporary sibling, then :func:`os.replace`) so
 that parallel workers and concurrent harness invocations can share one cache
 directory; unreadable or corrupt entries are treated as misses.
+
+The cache is observable two ways.  Per instance, a
+:class:`~repro.harness.telemetry.Tracer` attached via ``tracer`` receives
+``cache.hits`` / ``cache.misses`` / ``cache.stores`` counters plus
+cumulative ``cache.read_seconds`` / ``cache.write_seconds`` latencies, so
+a ``--trace`` run records exactly what the cache cost it.  Across
+instances, :meth:`persist_stats` folds the session's counters into a
+``stats.json`` document in the cache directory — the *lifetime*
+hit/miss/store totals ``repro cache --stats`` reports.  The lifetime file
+is a read-modify-write dashboard like the perf trajectory: concurrent
+writers may lose each other's latest delta, never the cache entries
+themselves.
 """
 
 from __future__ import annotations
@@ -48,12 +60,26 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class ResultCache:
-    """Content-addressed JSON result cache rooted at ``cache_dir``."""
+#: Name of the lifetime-counter document inside the cache directory
+#: (outside the ``<shard>/<key>.json`` entry layout, so it is never
+#: mistaken for an entry).
+_STATS_FILE = "stats.json"
 
-    def __init__(self, cache_dir: os.PathLike) -> None:
+
+class ResultCache:
+    """Content-addressed JSON result cache rooted at ``cache_dir``.
+
+    ``tracer`` (optional) receives hit/miss/store counters and cumulative
+    read/write latency; see the module docstring.
+    """
+
+    def __init__(self, cache_dir: os.PathLike, tracer=None) -> None:
         self.root = Path(cache_dir)
         self.stats = CacheStats()
+        self.tracer = tracer
+        # Counters already folded into stats.json, so repeated
+        # persist_stats() calls write each lookup exactly once.
+        self._persisted = CacheStats()
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -65,19 +91,29 @@ class ResultCache:
     def get(self, key: str) -> Optional[object]:
         """The JSON payload stored under ``key``, or None on a miss."""
         path = self.path_for(key)
+        started = time.perf_counter() if self.tracer is not None else 0.0
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
             payload = document["payload"]
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
+            if self.tracer is not None:
+                self.tracer.count("cache.misses")
+                self.tracer.count("cache.read_seconds",
+                                  time.perf_counter() - started)
             return None
         self.stats.hits += 1
+        if self.tracer is not None:
+            self.tracer.count("cache.hits")
+            self.tracer.count("cache.read_seconds",
+                              time.perf_counter() - started)
         return payload
 
     def put(self, key: str, payload: object, **metadata: object) -> Path:
         """Atomically persist ``payload`` (JSON-serialisable) under ``key``."""
         path = self.path_for(key)
+        started = time.perf_counter() if self.tracer is not None else 0.0
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {"key": key, "metadata": metadata, "payload": payload}
         handle = tempfile.NamedTemporaryFile(
@@ -95,6 +131,10 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.tracer is not None:
+            self.tracer.count("cache.stores")
+            self.tracer.count("cache.write_seconds",
+                              time.perf_counter() - started)
         return path
 
     def contains(self, key: str) -> bool:
@@ -115,6 +155,72 @@ class ResultCache:
             self.path_for(key).unlink()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------ #
+    # Lifetime statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def stats_path(self) -> Path:
+        """Location of the lifetime-counter document."""
+        return self.root / _STATS_FILE
+
+    def lifetime_stats(self) -> CacheStats:
+        """Hit/miss/store totals accumulated across every persisted run.
+
+        Reads ``stats.json``; a missing or corrupt document reads as
+        zeros — lifetime counters are a dashboard, never a gate.
+        """
+        try:
+            document = json.loads(self.stats_path.read_text(encoding="utf-8"))
+            return CacheStats(
+                hits=max(0, int(document.get("hits", 0))),
+                misses=max(0, int(document.get("misses", 0))),
+                stores=max(0, int(document.get("stores", 0))),
+            )
+        except (OSError, ValueError, TypeError, AttributeError):
+            return CacheStats()
+
+    def persist_stats(self) -> Optional[Path]:
+        """Fold this session's counters into the lifetime document.
+
+        Only the delta since the last persist is written, so calling this
+        repeatedly (the engine persists on ``close``, which is idempotent)
+        counts every lookup exactly once.  Failures to write are swallowed:
+        losing a stats delta must never fail a run.
+        """
+        delta_hits = self.stats.hits - self._persisted.hits
+        delta_misses = self.stats.misses - self._persisted.misses
+        delta_stores = self.stats.stores - self._persisted.stores
+        if not (delta_hits or delta_misses or delta_stores):
+            return None
+        lifetime = self.lifetime_stats()
+        document = {
+            "hits": max(0, lifetime.hits + delta_hits),
+            "misses": max(0, lifetime.misses + delta_misses),
+            "stores": max(0, lifetime.stores + delta_stores),
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=self.root,
+                prefix=".stats-", suffix=".tmp", delete=False,
+            )
+            try:
+                with handle:
+                    json.dump(document, handle, sort_keys=True)
+                os.replace(handle.name, self.stats_path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+        self._persisted = CacheStats(hits=self.stats.hits,
+                                     misses=self.stats.misses,
+                                     stores=self.stats.stores)
+        return self.stats_path
 
     # ------------------------------------------------------------------ #
     # Maintenance

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro sweep --experiment scaling_curves --cores 1,2,4,8
     python -m repro cache --stats / --clear
     python -m repro bench --events 1000000    # engine microbenchmark
+    python -m repro trace summary trace.jsonl # digest a telemetry trace
 
 ``run``/``sweep``/``bench`` accept ``--workload``/``--runtime``/``--tag``
 filters resolved through the plugin registries (:mod:`repro.registry`), so
@@ -43,6 +44,14 @@ timed Figure 9 case) and appends the measurement to the
 ``BENCH_engine.json`` perf trajectory — see :mod:`repro.harness.bench`.
 ``run --bench-out PATH`` records per-case sweep wall-clock into the same
 trajectory.
+
+``run``, ``sweep`` and ``bench`` accept ``--trace PATH`` (default
+``$REPRO_TRACE``) to record the invocation's telemetry stream — run
+manifest, phase/sweep/unit spans, cache and pool counters — as JSONL
+(:mod:`repro.harness.telemetry`); ``trace summary FILE`` digests such a
+file into per-phase wall-clock, unit-latency percentiles, cache hit ratio
+and the failure list.  ``cache --stats`` reports the cache directory's
+*lifetime* hit/miss/store counters alongside its entry count and size.
 
 Note the cache is keyed by configuration, case parameters and the package
 *version* — it cannot see source edits.  After changing simulator code
@@ -100,6 +109,11 @@ JOBS_ENV = "REPRO_JOBS"
 #: ``@register_workload``/``@register_runtime`` plugins are addressable
 #: from a fresh CLI process.  ``--plugin`` does the same per invocation.
 PLUGINS_ENV = "REPRO_PLUGINS"
+
+#: Environment variable giving the default ``--trace`` path of
+#: ``run``/``sweep``/``bench`` (never part of any cache key, so tracing a
+#: run cannot change its results).
+TRACE_ENV = "REPRO_TRACE"
 
 #: Experiment identifiers in presentation order ("all" runs these in order;
 #: ``scaling_curves`` is grid-shaped and runs through ``sweep`` instead).
@@ -229,6 +243,15 @@ def _load_plugins(specs: Optional[List[str]]) -> None:
         registry.load_plugin(name)
 
 
+def _resolve_trace(args: argparse.Namespace) -> Optional[Path]:
+    """The trace output path: ``--trace`` or ``$REPRO_TRACE`` (or None)."""
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        return trace
+    from_env = os.environ.get(TRACE_ENV, "").strip()
+    return Path(from_env) if from_env else None
+
+
 def _build_engine(args: argparse.Namespace, jobs: int,
                   run_label: Optional[str] = None) -> ExperimentEngine:
     """The shared engine wiring of the ``run`` and ``sweep`` subcommands."""
@@ -245,6 +268,7 @@ def _build_engine(args: argparse.Namespace, jobs: int,
         run_label=run_label,
         keep_going=getattr(args, "keep_going", False),
         retries=getattr(args, "retries", 1),
+        trace_path=_resolve_trace(args),
     )
 
 
@@ -297,9 +321,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="re-attempts per failed unit, each in a "
                                  "fresh worker process (default 1)")
 
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="append the run's telemetry stream (spans, "
+                              "counters, run manifest) to this JSONL file; "
+                              f"also honours ${TRACE_ENV}; digest it with "
+                              "'trace summary'")
+
     run = sub.add_parser(
         "run", help="run one or more experiments (or 'all')",
-        parents=[plugins, resilience],
+        parents=[plugins, resilience, tracing],
     )
     run.add_argument("experiments", nargs="+",
                      help=f"experiment ids ({', '.join(_RUN_ORDER)}) or 'all'")
@@ -345,7 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="grid sweeps: an experiment across core counts "
              "(default: scaling_curves)",
-        parents=[plugins, resilience],
+        parents=[plugins, resilience, tracing],
     )
     sweep.add_argument("--experiment", default="scaling_curves",
                        help="experiment to sweep (default scaling_curves)")
@@ -411,11 +442,24 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", type=Path, default=None)
     cache.add_argument("--clear", action="store_true",
                        help="delete every cache entry")
+    cache.add_argument("--stats", action="store_true",
+                       help="also report the directory's lifetime "
+                            "hit/miss/store counters")
+
+    trace = sub.add_parser(
+        "trace", help="inspect telemetry traces recorded with --trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="digest a trace: phase wall-clock, unit latency percentiles, "
+             "cache hit ratio, pool counters, failures")
+    trace_summary.add_argument("trace_file", type=Path,
+                               help="a trace.jsonl recorded with --trace")
 
     bench = sub.add_parser(
         "bench",
         help="engine microbenchmark (events/sec) + perf trajectory",
-        parents=[plugins],
+        parents=[plugins, tracing],
     )
     bench.add_argument("--events", type=int, default=1_000_000,
                        help="synthetic workload size (default 1000000)")
@@ -496,20 +540,48 @@ def _cmd_cache(args: argparse.Namespace, out) -> int:
     print(f"cache directory: {cache.root}", file=out)
     print(f"entries: {len(cache)}", file=out)
     print(f"size: {cache.size_bytes() / 1024:.1f} KiB", file=out)
+    if args.stats:
+        lifetime = cache.lifetime_stats()
+        print(f"lifetime: {lifetime.hits} hit(s), "
+              f"{lifetime.misses} miss(es), {lifetime.stores} store(s) "
+              f"({lifetime.hit_rate * 100:.0f}% hit rate)", file=out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    """Digest a recorded trace file (``trace summary FILE``)."""
+    from repro.harness.telemetry import summarize_trace
+
+    print(summarize_trace(args.trace_file).render(), file=out)
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     """Run the engine microbenchmark and append it to the trajectory."""
-    entry = run_engine_bench(
-        num_events=args.events,
-        include_case=not args.no_case,
-        config=SimConfig(),
-        repeats=args.repeats,
-        workload=args.workload,
-        runtimes=args.runtimes,
-        include_pool=not args.no_pool,
-    )
+    trace_path = _resolve_trace(args)
+    tracer = None
+    if trace_path is not None:
+        from repro.harness.telemetry import JsonlSink, Tracer
+        tracer = Tracer([JsonlSink(trace_path)])
+        bench_span = tracer.start_span("bench", "phase",
+                                       events=args.events,
+                                       repeats=args.repeats)
+    try:
+        entry = run_engine_bench(
+            num_events=args.events,
+            include_case=not args.no_case,
+            config=SimConfig(),
+            repeats=args.repeats,
+            workload=args.workload,
+            runtimes=args.runtimes,
+            include_pool=not args.no_pool,
+        )
+        if tracer is not None:
+            tracer.event("bench.entry", **entry)
+    finally:
+        if tracer is not None:
+            tracer.end_span(bench_span)
+            tracer.close()
     if args.format == "json":
         print(json.dumps(entry, indent=2, sort_keys=True), file=out)
     else:
@@ -656,6 +728,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_runtimes(args, sys.stdout)
         if args.command == "cache":
             return _cmd_cache(args, sys.stdout)
+        if args.command == "trace":
+            return _cmd_trace(args, sys.stdout)
         if args.command == "bench":
             return _cmd_bench(args, sys.stdout)
         if args.command == "sweep":

@@ -32,10 +32,25 @@ collecting every failure in :attr:`unit_failures`, with everything
 completed already landed in the cache.
 
 When constructed with ``bench_path``, the engine appends one ``"sweep"``
-entry of per-case wall-clock seconds to that ``BENCH_engine.json``
-trajectory (:class:`repro.harness.bench.PerfTrajectory`) after every sweep
-that simulated at least one case, so real-experiment performance is tracked
+entry of per-case wall-clock seconds (plus each case's sim-core
+cycles-per-second throughput) to that ``BENCH_engine.json`` trajectory
+(:class:`repro.harness.bench.PerfTrajectory`) after every sweep that
+simulated at least one case, so real-experiment performance is tracked
 across runs and commits, not just the synthetic microbenchmark.
+
+The engine is the telemetry root (:mod:`repro.harness.telemetry`): it owns
+one :class:`~repro.harness.telemetry.Tracer` shared with its cache and
+executor, opens the *run* span (stamped with the
+:class:`~repro.harness.telemetry.RunManifest` — version, config
+fingerprint, jobs, host, plugin registries) on the first experiment, nests
+a *phase* span per :meth:`run`/:meth:`run_grid` around the runner's sweep
+and unit spans, and snapshots every counter when :meth:`close` ends the
+run.  ``trace_path`` attaches a
+:class:`~repro.harness.telemetry.JsonlSink` (the ``--trace`` /
+``$REPRO_TRACE`` surface); a ``progress`` reporter is fed through a
+``ProgressSink``, so the stderr status line consumes the same stream.
+Closing also folds the session's cache counters into the cache
+directory's lifetime ``stats.json`` (``repro cache --stats``).
 """
 
 from __future__ import annotations
@@ -83,6 +98,13 @@ from repro.registry import suggest
 from repro.harness.progress import NullProgress, Progress
 from repro.harness.runner import CaseUnit, run_case_grid, run_cases
 from repro.harness.sweep import GridPoint, GridResult, SweepGrid
+from repro.harness.telemetry import (
+    JsonlSink,
+    NullSink,
+    ProgressSink,
+    Tracer,
+    build_manifest,
+)
 
 __all__ = ["ExperimentEngine"]
 
@@ -111,6 +133,8 @@ class ExperimentEngine:
         run_label: Optional[str] = None,
         keep_going: bool = False,
         retries: int = 1,
+        trace_path: Optional[Path] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Create an engine.
 
@@ -124,6 +148,11 @@ class ExperimentEngine:
         in a fresh worker; ``keep_going`` turns failed sweeps into partial
         results plus :attr:`unit_failures` records instead of an
         aggregated :class:`~repro.harness.executor.SweepError`.
+        ``trace_path`` records the run's telemetry stream as JSONL
+        (readable by ``repro trace summary``); alternatively a pre-built
+        ``tracer`` may be injected, in which case the engine uses it as-is
+        (``progress`` then only renders if the tracer carries a sink for
+        it) and leaves closing its sinks to the caller.
         """
         if jobs <= 0:
             raise EvaluationError("jobs must be positive")
@@ -131,10 +160,20 @@ class ExperimentEngine:
             raise EvaluationError("retries must be >= 0")
         self.config = config if config is not None else SimConfig()
         self.jobs = jobs
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress if progress is not None else NullProgress()
+        self._owns_tracer = tracer is None
+        if tracer is None:
+            sinks = []
+            if not isinstance(self.progress, NullProgress):
+                sinks.append(ProgressSink(self.progress))
+            if trace_path is not None:
+                sinks.append(JsonlSink(trace_path))
+            tracer = Tracer(sinks or [NullSink()])
+        self.tracer = tracer
+        self.cache = (ResultCache(cache_dir, tracer=self.tracer)
+                      if cache_dir is not None else None)
         self.artifacts = (ArtifactStore(artifact_dir)
                           if artifact_dir is not None else None)
-        self.progress = progress if progress is not None else NullProgress()
         self.trajectory = (PerfTrajectory(bench_path)
                            if bench_path is not None else None)
         self.run_label = run_label
@@ -146,6 +185,13 @@ class ExperimentEngine:
         #: Wall-clock seconds per simulated case of the most recent sweep
         #: (empty when the sweep was fully served from cache/memo).
         self.case_timings: dict = {}
+        #: Sim-core throughput (simulated cycles per wall-second) per
+        #: simulated case of the most recent sweep, keyed like
+        #: :attr:`case_timings`.
+        self.case_rates: dict = {}
+        # The open run span (started lazily with the RunManifest on the
+        # first experiment, ended by close()).
+        self._run_span = None
         # In-memory memo of completed sweeps keyed by (config, workers,
         # cases), so chained derived experiments and grid points in one
         # engine share the Figure 9 runs even with no disk cache.
@@ -170,13 +216,41 @@ class ExperimentEngine:
         if self._executor is None:
             self._executor = (SerialBackend() if self.jobs == 1
                               else ProcessPoolBackend(self.jobs))
+            self._executor.tracer = self.tracer
         return self._executor
 
+    def _ensure_run_span(self) -> None:
+        """Open the run span (manifest-stamped) on the first experiment."""
+        if self._run_span is not None:
+            return
+        manifest = build_manifest(self.config, self.jobs,
+                                  label=self.run_label)
+        self._run_span = self.tracer.start_span(
+            "run", "run", keep_going=self.keep_going, retries=self.retries,
+            **manifest.as_attributes())
+
     def close(self) -> None:
-        """Shut the execution backend down (idempotent; lazily rebuilt)."""
+        """Shut the engine down (idempotent; everything lazily rebuilt).
+
+        Releases the execution backend, closes the run span and snapshots
+        the telemetry counters into the trace, folds the session's cache
+        counters into the cache directory's lifetime stats, and — when the
+        engine built its own tracer — closes the trace sinks.
+        """
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.close()
+        run_span, self._run_span = self._run_span, None
+        if run_span is not None:
+            if self.unit_failures:
+                run_span.set(unit_failures=len(self.unit_failures))
+            self.tracer.end_span(run_span)
+        if self.cache is not None:
+            self.cache.persist_stats()
+        if self._owns_tracer:
+            self.tracer.close()  # snapshots counters, closes sinks
+        elif run_span is not None:
+            self.tracer.emit_counters()
 
     def __enter__(self) -> "ExperimentEngine":
         return self
@@ -219,17 +293,20 @@ class ExperimentEngine:
                 f"unknown experiment {experiment_id!r}"
                 f"{suggest(experiment_id, list(EXPERIMENT_SPECS))}"
             )
-        if experiment_id == "scaling_curves":
-            result = self._run_scaling(quick, scale, cases, core_counts,
-                                       runtimes)
-        elif experiment_id == "figure9":
-            result = self._run_sweep(quick, scale, num_workers, cases,
-                                     runtimes=runtimes)
-        elif spec.is_derived:
-            result = self._run_derived(experiment_id, quick, scale,
-                                       num_workers, num_tasks, cases)
-        else:
-            result = self._run_simple(experiment_id, num_tasks)
+        self._ensure_run_span()
+        with self.tracer.span(experiment_id, "phase",
+                              quick=quick, scale=scale):
+            if experiment_id == "scaling_curves":
+                result = self._run_scaling(quick, scale, cases, core_counts,
+                                           runtimes)
+            elif experiment_id == "figure9":
+                result = self._run_sweep(quick, scale, num_workers, cases,
+                                         runtimes=runtimes)
+            elif spec.is_derived:
+                result = self._run_derived(experiment_id, quick, scale,
+                                           num_workers, num_tasks, cases)
+            else:
+                result = self._run_simple(experiment_id, num_tasks)
         if self.artifacts is not None:
             self.artifacts.save(experiment_id, result,
                                 quick=quick, scale=scale)
@@ -255,17 +332,23 @@ class ExperimentEngine:
         case set).
         """
         points = grid.points()
-        self._prime_grid_sweeps(points, quick, scale, cases,
-                                runtimes=runtimes)
-        grid_timings = dict(self.case_timings)
-        results = [
-            GridResult(point, self._run_point(point, quick, scale,
-                                              num_tasks, cases, runtimes))
-            for point in points
-        ]
-        # Memo-served assembly clears per-sweep timings; the grid's own
-        # simulated-unit timings are what callers should see.
-        self.case_timings = grid_timings
+        self._ensure_run_span()
+        with self.tracer.span("grid", "phase", points=len(points),
+                              quick=quick, scale=scale):
+            self._prime_grid_sweeps(points, quick, scale, cases,
+                                    runtimes=runtimes)
+            grid_timings = dict(self.case_timings)
+            grid_rates = dict(self.case_rates)
+            results = [
+                GridResult(point, self._run_point(point, quick, scale,
+                                                  num_tasks, cases,
+                                                  runtimes))
+                for point in points
+            ]
+            # Memo-served assembly clears per-sweep timings; the grid's own
+            # simulated-unit timings are what callers should see.
+            self.case_timings = grid_timings
+            self.case_rates = grid_rates
         return results
 
     # ------------------------------------------------------------------ #
@@ -310,18 +393,19 @@ class ExperimentEngine:
             config, quick, scale, num_workers, cases, runtimes)
         if memo_key in self._sweep_memo:
             self.case_timings = {}
+            self.case_rates = {}
             # A memo-served *partial* sweep re-reports its failures, so
             # the result is never mistaken for a complete one.
             self.unit_failures.extend(self._partial_memo.get(memo_key, ()))
             return list(self._sweep_memo[memo_key])
         timings: dict = {}
+        rates: dict = {}
         failures: List[UnitFailure] = []
         runs = run_cases(config, selected, workers, jobs=self.jobs,
-                         cache=self.cache, progress=self.progress,
-                         timings=timings, runtimes=selection,
-                         executor=self.executor,
+                         cache=self.cache, timings=timings,
+                         runtimes=selection, executor=self.executor,
                          keep_going=self.keep_going, retries=self.retries,
-                         failures=failures)
+                         failures=failures, tracer=self.tracer, rates=rates)
         self.unit_failures.extend(failures)
         if failures:
             self._partial_memo[memo_key] = tuple(failures)
@@ -329,9 +413,10 @@ class ExperimentEngine:
         # result (and memo) is the completed runs.
         runs = [run for run in runs if run is not None]
         self.case_timings = timings
+        self.case_rates = rates
         if self.trajectory is not None:
             self.trajectory.record_sweep("figure9", timings,
-                                         label=self.run_label)
+                                         label=self.run_label, rates=rates)
         self._sweep_memo[memo_key] = runs
         return list(runs)
 
@@ -380,6 +465,7 @@ class ExperimentEngine:
             # Nothing simulated: a previous sweep's timings must not be
             # attributed to this grid.
             self.case_timings = {}
+            self.case_rates = {}
             return
         units = [
             CaseUnit(config, case, workers, selection)
@@ -387,17 +473,19 @@ class ExperimentEngine:
             for case in selected
         ]
         timings: dict = {}
+        rates: dict = {}
         failures: List[UnitFailure] = []
         runs = run_case_grid(units, jobs=self.jobs, cache=self.cache,
-                             progress=self.progress, timings=timings,
-                             executor=self.executor,
+                             timings=timings, executor=self.executor,
                              keep_going=self.keep_going,
-                             retries=self.retries, failures=failures)
+                             retries=self.retries, failures=failures,
+                             tracer=self.tracer, rates=rates)
         self.unit_failures.extend(failures)
         self.case_timings = timings
+        self.case_rates = rates
         if self.trajectory is not None:
             self.trajectory.record_sweep("grid", timings,
-                                         label=self.run_label)
+                                         label=self.run_label, rates=rates)
         # Results are slot-aligned with the submitted units (failed slots
         # are None under keep-going), so per-point slicing stays correct
         # even for partial sweeps; each point memoises its completed runs
@@ -593,6 +681,7 @@ class ExperimentEngine:
                                 base_config=config,
                                 runtimes=selected_runtimes)
         grid_timings = dict(self.case_timings)
+        grid_rates = dict(self.case_rates)
         runs_by_cores: Dict[int, List[BenchmarkRun]] = {}
         for point in points:
             point_config = point.apply(config)
@@ -601,6 +690,7 @@ class ExperimentEngine:
                 quick, scale, None, cases, config=point_config,
                 runtimes=selected_runtimes)
         self.case_timings = grid_timings
+        self.case_rates = grid_rates
         partial = len(self.unit_failures) > failures_before
         if partial:
             # Keep-going mode with failures: assemble curves from the

@@ -28,6 +28,14 @@ single crash costs one retry round instead of the whole sweep.
 Backends speak in **batches** (tuples of picklable argument tuples), so
 small units amortise IPC and pickling over one dispatch; the runner picks
 the batch size (:func:`batch_size`).
+
+Backends are observable: attaching a
+:class:`~repro.harness.telemetry.Tracer` (the ``tracer`` attribute, set by
+the engine) counts pool constructions (``pool.starts``), dispatch rounds
+(``pool.dispatches``), crash-triggered rebuilds (``pool.rebuilds``) and
+fresh-worker retry executions (``pool.retries``), and emits a
+``pool.rebuild`` event when a broken pool is discarded — so a ``--trace``
+run records every pool lifecycle transition a sweep went through.
 """
 
 from __future__ import annotations
@@ -122,6 +130,14 @@ class ExecutorBackend:
 
     kind = "abstract"
 
+    #: Optional :class:`~repro.harness.telemetry.Tracer` receiving
+    #: ``pool.*`` counters/events; set by the owner (the engine).
+    tracer = None
+
+    def _count(self, name: str, value: float = 1) -> None:
+        if self.tracer is not None:
+            self.tracer.count(name, value)
+
     @property
     def width(self) -> int:
         raise NotImplementedError
@@ -166,6 +182,7 @@ class SerialBackend(ExecutorBackend):
 
     def dispatch(self, fn: Callable, batches: Sequence[Tuple]
                  ) -> Iterator[Tuple[int, object]]:
+        self._count("pool.dispatches")
         for index, batch in enumerate(batches):
             try:
                 yield index, fn(*batch)
@@ -173,6 +190,7 @@ class SerialBackend(ExecutorBackend):
                 yield index, exc
 
     def run_isolated(self, fn: Callable, *args: object) -> object:
+        self._count("pool.retries")
         return fn(*args)
 
 
@@ -212,6 +230,7 @@ class ProcessPoolBackend(ExecutorBackend):
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             self.starts += 1
+            self._count("pool.starts")
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -219,10 +238,14 @@ class ProcessPoolBackend(ExecutorBackend):
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+            self._count("pool.rebuilds")
+            if self.tracer is not None:
+                self.tracer.event("pool.rebuild", workers=self.max_workers)
 
     def dispatch(self, fn: Callable, batches: Sequence[Tuple]
                  ) -> Iterator[Tuple[int, object]]:
         self.dispatches += 1
+        self._count("pool.dispatches")
         # Submission can itself hit a broken pool: a warm worker that died
         # *between* dispatches makes the next submit raise BrokenExecutor
         # synchronously.  That costs one pool rebuild; a second breakage
@@ -265,6 +288,7 @@ class ProcessPoolBackend(ExecutorBackend):
         # A single-use single-worker pool: the retried call gets a process
         # no previous unit can have poisoned, and its crash cannot touch
         # the warm pool.
+        self._count("pool.retries")
         with ProcessPoolExecutor(max_workers=1) as pool:
             return pool.submit(fn, *args).result()
 

@@ -3,6 +3,20 @@
 The harness reports case-level progress through the tiny observer interface
 below so that the CLI can print live status lines while library callers
 (tests, the benchmark conftest) stay silent by default.
+
+Since the telemetry layer landed (:mod:`repro.harness.telemetry`), this
+interface is an *adapter*: the harness emits structured span records
+through a :class:`~repro.harness.telemetry.Tracer`, and a
+``ProgressSink`` translates them back into the ``start``/``advance``/
+``finish`` calls below — so the stderr status line is just one more
+consumer of the same stream a ``trace.jsonl`` file records.
+
+Status lines carry throughput context: each advance reports the elapsed
+rate and an ETA once at least one unit resolved, and ``finish`` breaks the
+phase down into simulated / cached / failed unit counts alongside the
+wall clock.  A phase started with ``total=0`` did nothing and prints
+nothing — including at ``finish``, which used to leak a stray "done"
+line for empty phases.
 """
 
 from __future__ import annotations
@@ -22,6 +36,8 @@ class Progress:
         self._label = ""
         self._total = 0
         self._done = 0
+        self._cached = 0
+        self._failed = 0
         self._started = 0.0
 
     def start(self, label: str, total: int) -> None:
@@ -29,22 +45,50 @@ class Progress:
         self._label = label
         self._total = total
         self._done = 0
+        self._cached = 0
+        self._failed = 0
         self._started = time.monotonic()
         if total:
             print(f"{label}: {total} unit(s)", file=self.stream, flush=True)
+
+    def _pace(self) -> str:
+        """Elapsed rate and ETA of the phase (empty before any signal)."""
+        elapsed = time.monotonic() - self._started
+        if elapsed <= 0 or self._done <= 0:
+            return ""
+        rate = self._done / elapsed
+        remaining = self._total - self._done
+        if remaining <= 0:
+            return f" [{rate:.1f} unit/s]"
+        return f" [{rate:.1f} unit/s, ETA {remaining / rate:.0f}s]"
 
     def advance(self, description: str, cached: bool = False,
                 failed: bool = False) -> None:
         """Record one resolved unit (completed, cache-served, or failed)."""
         self._done += 1
+        if cached:
+            self._cached += 1
+        if failed:
+            self._failed += 1
         suffix = " (cached)" if cached else (" (FAILED)" if failed else "")
-        print(f"  [{self._done}/{self._total}] {description}{suffix}",
+        print(f"  [{self._done}/{self._total}] {description}{suffix}"
+              f"{self._pace()}",
               file=self.stream, flush=True)
 
     def finish(self) -> None:
-        """Close the phase, reporting elapsed wall-clock time."""
+        """Close the phase: wall clock plus simulated/cached/failed counts.
+
+        A phase whose ``start`` saw ``total=0`` printed no header and
+        resolved no units, so it prints no "done" line either (it used to
+        emit one under the label of whatever phase came before it).
+        """
+        if not self._total:
+            return
         elapsed = time.monotonic() - self._started
-        print(f"{self._label}: done in {elapsed:.1f}s",
+        simulated = self._done - self._cached - self._failed
+        print(f"{self._label}: done in {elapsed:.1f}s "
+              f"({simulated} simulated, {self._cached} cached, "
+              f"{self._failed} failed)",
               file=self.stream, flush=True)
 
 

@@ -41,7 +41,19 @@ Every executed (non-cached) unit is timed where it runs — inside the worker
 process for parallel sweeps — and the wall-clock seconds are reported back
 through the optional ``timings`` mapping, which the experiment engine feeds
 into the ``BENCH_engine.json`` perf trajectory
-(:mod:`repro.harness.bench`).
+(:mod:`repro.harness.bench`).  The optional ``rates`` mapping receives the
+matching sim-core throughput (simulated cycles per wall-second) of every
+executed unit, folded into the same trajectory entries.
+
+Execution is observable end to end: the sweep runs inside a *sweep* span
+of the :class:`~repro.harness.telemetry.Tracer` threaded down from the
+engine, every resolved unit becomes a *unit* span (carrying its
+worker-measured wall clock, sim-core throughput, cached/failed state and
+retry count), and failures increment the ``sweep.unit_failures`` /
+``sweep.retries`` counters.  Callers that pass only the classic
+``progress`` reporter get a tracer wrapping it
+(:func:`~repro.harness.telemetry.progress_tracer`), so the stderr status
+lines are identical whichever interface drove the sweep.
 """
 
 from __future__ import annotations
@@ -70,7 +82,8 @@ from repro.harness.executor import (
     batch_size,
 )
 from repro.harness.hashing import case_cache_key
-from repro.harness.progress import NullProgress, Progress
+from repro.harness.progress import Progress
+from repro.harness.telemetry import Tracer, progress_tracer
 
 __all__ = ["CaseUnit", "run_cases", "run_case_grid"]
 
@@ -240,6 +253,7 @@ def _dispatch_pending(
     retries: int,
     record,
     fail,
+    tracer: Optional[Tracer] = None,
 ) -> None:
     """Drive ``pending`` units through ``backend`` with retry-on-failure.
 
@@ -289,6 +303,9 @@ def _dispatch_pending(
         still_failed: List[Tuple] = []
         for item, payload, _error_type, _error_text, _attempts in failed:
             _slot, unit, _key = item
+            if tracer is not None:
+                tracer.count("sweep.retries")
+                tracer.event("unit.retry", unit=unit.key, attempt=attempt)
             try:
                 outcomes = backend.run_isolated(
                     _execute_batch, payload, (_unit_task(unit),))
@@ -307,6 +324,11 @@ def _dispatch_pending(
         fail(slot, unit, error_type, error_text, attempts)
 
 
+def _unit_sim_cycles(run: BenchmarkRun) -> int:
+    """Total simulated cycles across every runtime result of ``run``."""
+    return sum(result.elapsed_cycles for result in run.results.values())
+
+
 def _run_units(
     units: Sequence[CaseUnit],
     timing_keys: Sequence[str],
@@ -319,14 +341,18 @@ def _run_units(
     keep_going: bool = False,
     retries: int = 1,
     failures: Optional[List[UnitFailure]] = None,
+    tracer: Optional[Tracer] = None,
+    rates: Optional[Dict[str, float]] = None,
 ) -> List[Optional[BenchmarkRun]]:
     """Execute ``units``; results come back slot-aligned with the input."""
     if jobs <= 0:
         raise EvaluationError("jobs must be positive")
     if retries < 0:
         raise EvaluationError("retries must be >= 0")
-    progress = progress if progress is not None else NullProgress()
-    progress.start(title, len(units))
+    if tracer is None:
+        # Direct callers hand us (at most) the classic progress reporter;
+        # wrap it so rendering still flows through the telemetry stream.
+        tracer = progress_tracer(progress)
 
     results: List[Optional[BenchmarkRun]] = [None] * len(units)
     failed: Dict[int, UnitFailure] = {}
@@ -340,16 +366,25 @@ def _run_units(
                       num_workers=unit.num_workers)
         if timings is not None:
             timings[timing_keys[slot]] = seconds
-        progress.advance(timing_keys[slot])
+        cycles = _unit_sim_cycles(run)
+        rate = cycles / seconds if seconds > 0 else 0.0
+        if rates is not None:
+            rates[timing_keys[slot]] = rate
+        tracer.unit(timing_keys[slot], seconds, sim_cycles=cycles,
+                    sim_cycles_per_sec=rate)
 
     def fail(slot: int, unit: CaseUnit, error_type: str, error: str,
              attempts: int) -> None:
         failed[slot] = UnitFailure(key=unit.key, slot=slot,
                                    error_type=error_type, error=error,
                                    attempts=attempts)
-        progress.advance(timing_keys[slot], failed=True)
+        tracer.count("sweep.unit_failures")
+        tracer.unit(timing_keys[slot], 0.0, failed=True,
+                    error_type=error_type, error=error, attempts=attempts)
 
-    try:
+    # The sweep span closes however the dispatch ends — a worker
+    # exception used to leave the progress line dangling mid-render.
+    with tracer.span(title, "sweep", total=len(units)) as sweep_span:
         pending = []  # (slot, unit, cache key)
         for slot, unit in enumerate(units):
             key = None
@@ -359,7 +394,7 @@ def _run_units(
                 run = _decode_cached_run(cache, key)
                 if run is not None:
                     results[slot] = run
-                    progress.advance(timing_keys[slot], cached=True)
+                    tracer.unit(timing_keys[slot], 0.0, cached=True)
                     continue
             pending.append((slot, unit, key))
 
@@ -370,15 +405,17 @@ def _run_units(
                 backend = (SerialBackend()
                            if jobs == 1 or len(pending) == 1 else
                            ProcessPoolBackend(min(jobs, len(pending))))
+                backend.tracer = tracer
             try:
-                _dispatch_pending(backend, pending, retries, record, fail)
+                _dispatch_pending(backend, pending, retries, record, fail,
+                                  tracer=tracer)
             finally:
                 if owned:
                     backend.close()
-    finally:
-        # The progress line must close however the dispatch ends — a
-        # worker exception used to leave it dangling mid-render.
-        progress.finish()
+        sweep_span.set(total=len(units),
+                       simulated=len(pending) - len(failed),
+                       cached=len(units) - len(pending),
+                       failed=len(failed))
 
     sweep_failures = [failed[slot] for slot in sorted(failed)]
     if failures is not None:
@@ -412,6 +449,8 @@ def run_cases(
     keep_going: bool = False,
     retries: int = 1,
     failures: Optional[List[UnitFailure]] = None,
+    tracer: Optional[Tracer] = None,
+    rates: Optional[Dict[str, float]] = None,
 ) -> List[Optional[BenchmarkRun]]:
     """Execute ``cases`` under one config; runs come back in input order.
 
@@ -431,6 +470,9 @@ def run_cases(
     When a ``timings`` mapping is passed, it is populated with the
     wall-clock seconds of every case that was actually simulated (keyed by
     ``case.key``); cache hits cost no simulation and are not recorded.
+    ``rates`` likewise receives each simulated case's sim-core throughput
+    (simulated cycles per wall-second), and ``tracer`` carries the sweep's
+    telemetry (one sweep span, one unit span per case).
     """
     selection = canonical_runtime_selection(runtimes)
     units = [CaseUnit(config, case, num_workers, selection)
@@ -438,7 +480,8 @@ def run_cases(
     return _run_units(units, [case.key for case in cases], jobs, cache,
                       progress, timings, "benchmark sweep",
                       executor=executor, keep_going=keep_going,
-                      retries=retries, failures=failures)
+                      retries=retries, failures=failures,
+                      tracer=tracer, rates=rates)
 
 
 def run_case_grid(
@@ -451,6 +494,8 @@ def run_case_grid(
     keep_going: bool = False,
     retries: int = 1,
     failures: Optional[List[UnitFailure]] = None,
+    tracer: Optional[Tracer] = None,
+    rates: Optional[Dict[str, float]] = None,
 ) -> List[Optional[BenchmarkRun]]:
     """Execute a heterogeneous unit list; runs come back in input order.
 
@@ -466,4 +511,5 @@ def run_case_grid(
     return _run_units(units, [unit.key for unit in units], jobs,
                       cache, progress, timings, "grid sweep",
                       executor=executor, keep_going=keep_going,
-                      retries=retries, failures=failures)
+                      retries=retries, failures=failures,
+                      tracer=tracer, rates=rates)
