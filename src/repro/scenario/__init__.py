@@ -1,0 +1,44 @@
+"""Stochastic scenario layer: arrivals, execution-time jitter, schedulers.
+
+The deterministic harness runs each task graph exactly once with the
+paper's FIFO Picos policy.  This package makes runs *production-shaped*
+while keeping them bit-reproducible:
+
+* :mod:`~repro.scenario.arrivals` — when tasks become submittable
+  (periodic, Poisson, bursty 2-state MMPP),
+* :mod:`~repro.scenario.etm` — how task costs jitter around their
+  nominal cycles (constant, uniform, lognormal),
+* :mod:`~repro.scenario.schedulers` — which ready task the simulated
+  queues serve next (FIFO, priority/EDF, random, LIFO work-stealing),
+
+all registered through :func:`repro.registry.register_arrival` /
+``register_etm`` / ``register_scheduler`` and selected by a frozen
+:class:`ScenarioSpec` that rides through case units into cache keys.
+Every random draw comes from a :class:`~repro.scenario.stream.Pcg64Stream`
+derived from ``(seed, case identity, role)``, so serial runs, warm pool
+workers and retry workers produce byte-identical results.
+"""
+
+from repro.scenario.spec import ScenarioSpec, canonical_scenario
+from repro.scenario.stream import Pcg64Stream, derive_stream, stream_key
+from repro.scenario import arrivals as _arrivals  # noqa: F401 (register)
+from repro.scenario import etm as _etm  # noqa: F401 (register)
+from repro.scenario import schedulers as _schedulers  # noqa: F401 (register)
+from repro.scenario.apply import (
+    CompiledScenario,
+    ScenarioRun,
+    compile_scenario,
+    scenario_case_context,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "canonical_scenario",
+    "Pcg64Stream",
+    "derive_stream",
+    "stream_key",
+    "CompiledScenario",
+    "ScenarioRun",
+    "compile_scenario",
+    "scenario_case_context",
+]

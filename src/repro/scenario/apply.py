@@ -1,0 +1,231 @@
+"""Compiling a :class:`ScenarioSpec` against one benchmark case.
+
+:func:`compile_scenario` is called exactly once per (case, scenario)
+pair — in whatever process executes the unit — and performs every
+random draw that is shared across runtimes:
+
+* the execution-time model resamples each task's payload,
+* the arrival model lays out each task's ``release_cycle``,
+* the deadline factor stamps ``deadline_cycle`` on released tasks.
+
+Each runtime then gets its own :class:`ScenarioRun` carrying the
+scheduler policy (with a stream derived from the runtime's name, so
+policies draw independent but reproducible sequences per runtime) and
+the latency/deadline bookkeeping that lands in ``RuntimeResult.stats``.
+
+Determinism is structural: every stream is derived from
+``(seed, case-identity, role)`` via :func:`~repro.scenario.stream.derive_stream`,
+so a warm pool worker, a fresh retry worker and an in-process serial
+run all draw identical sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+import repro.registry as registry
+from repro.runtime.task import TaskProgram
+from repro.scenario.schedulers import TaskView
+from repro.scenario.spec import (DEFAULT_ARRIVAL, DEFAULT_ETM,
+                                 DEFAULT_SCHEDULER, ScenarioSpec)
+from repro.scenario.stream import derive_stream
+
+__all__ = ["CompiledScenario", "ScenarioRun", "compile_scenario",
+           "scenario_case_context"]
+
+
+def scenario_case_context(case: Any) -> Dict[str, Any]:
+    """The case-identity dict that seeds stream derivation.
+
+    Accepts anything shaped like a
+    :class:`~repro.eval.experiments.BenchmarkCase` (duck-typed to avoid
+    an import cycle).  Only stable, JSON-friendly identity fields enter:
+    two processes materialising the same case derive the same streams.
+    """
+    params = getattr(case, "params", ()) or ()
+    if isinstance(params, dict):
+        params = sorted(params.items())
+    return {
+        "benchmark": case.benchmark,
+        "label": case.label,
+        "builder": case.builder,
+        "params": [[str(key), value] for key, value in params],
+    }
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+class ScenarioRun:
+    """Live scenario state for one runtime's execution of one case.
+
+    Installed onto the :class:`~repro.cpu.soc.SoC` before ``_execute``:
+    the runtimes gate task submission on ``release_cycle`` and report
+    completions here; ready queues consult :attr:`selector` (when the
+    policy is not FIFO) to decide which entry to pop.
+    """
+
+    def __init__(self, spec: ScenarioSpec, case_context: Dict[str, Any],
+                 program: TaskProgram, runtime_name: str) -> None:
+        self.spec = spec
+        self.runtime_name = runtime_name
+        self._releases = [task.release_cycle for task in program.tasks]
+        self._payloads = [task.payload_cycles for task in program.tasks]
+        self._deadlines = [task.deadline_cycle for task in program.tasks]
+        self._completions: Dict[int, int] = {}
+        self._view = TaskView(self._payloads, self._deadlines)
+        policy = registry.scheduler(spec.scheduler).create(
+            **dict(spec.scheduler_params))
+        if getattr(policy, "passthrough", False):
+            self.selector = None
+        else:
+            stream = derive_stream(spec.seed, case_context, "scheduler",
+                                   runtime_name)
+            view = self._view
+
+            def selector(items: Sequence[object]) -> int:
+                return policy.select(items, view, stream)
+
+            self.selector = selector
+
+    # ------------------------------------------------------------------ #
+    # Hooks called from the simulation
+    # ------------------------------------------------------------------ #
+    def install(self, soc: Any) -> None:
+        """Attach this run to ``soc`` (and its Picos work-fetch queue)."""
+        soc.scenario = self
+        work_fetch = getattr(getattr(soc, "manager", None), "work_fetch", None)
+        if work_fetch is not None:
+            self.attach_queue(work_fetch.rocc_ready_queue)
+
+    def attach_queue(self, queue: Any) -> None:
+        """Point a ready queue's selector at this run's policy.
+
+        A no-op for FIFO, so the default policy keeps the queues'
+        zero-overhead ``popleft`` fast path.
+        """
+        if self.selector is not None:
+            queue.selector = self.selector
+
+    def note_completion(self, index: int, now: int) -> None:
+        """Record that task ``index`` finished executing at cycle ``now``."""
+        self._completions[index] = now
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, float]:
+        """Latency percentiles and deadline misses for ``RuntimeResult.stats``.
+
+        Latency is completion minus release — the paper's sojourn time
+        under the modelled arrival process.  Percentiles use the
+        nearest-rank definition so they are exact sample statistics.
+        """
+        latencies = sorted(
+            float(now - self._releases[index])
+            for index, now in self._completions.items()
+            if 0 <= index < len(self._releases))
+        deadline_tasks = sum(1 for deadline in self._deadlines
+                             if deadline is not None)
+        misses = sum(
+            1 for index, now in self._completions.items()
+            if 0 <= index < len(self._deadlines)
+            and self._deadlines[index] is not None
+            and now > self._deadlines[index])
+        mean = (sum(latencies) / len(latencies)) if latencies else 0.0
+        return {
+            "scenario.tasks": float(len(self._completions)),
+            "scenario.latency_mean": mean,
+            "scenario.latency_p50": _percentile(latencies, 0.50),
+            "scenario.latency_p95": _percentile(latencies, 0.95),
+            "scenario.latency_p99": _percentile(latencies, 0.99),
+            "scenario.deadline_tasks": float(deadline_tasks),
+            "scenario.deadline_misses": float(misses),
+        }
+
+
+class CompiledScenario:
+    """A scenario bound to one case: the transformed program plus streams."""
+
+    def __init__(self, spec: ScenarioSpec, case_context: Dict[str, Any],
+                 program: TaskProgram) -> None:
+        self.spec = spec
+        self.case_context = case_context
+        self.program = program
+
+    def runtime_run(self, runtime_name: str) -> ScenarioRun:
+        """A fresh :class:`ScenarioRun` for one runtime execution."""
+        return ScenarioRun(self.spec, self.case_context, self.program,
+                           runtime_name)
+
+
+def _resample_payloads(spec: ScenarioSpec, case_context: Dict[str, Any],
+                       payloads: List[int]) -> List[int]:
+    model = registry.etm(spec.etm).create(**dict(spec.etm_params))
+    stream = derive_stream(spec.seed, case_context, "etm")
+    return [model.sample(stream, nominal) for nominal in payloads]
+
+
+def _release_schedule(spec: ScenarioSpec, case_context: Dict[str, Any],
+                      count: int, mean_task_cycles: float) -> List[int]:
+    model = registry.arrival(spec.arrival).create(**dict(spec.arrival_params))
+    stream = derive_stream(spec.seed, case_context, "arrival")
+    gaps = model.inter_arrivals(stream, count, mean_task_cycles)
+    if len(gaps) != count:
+        raise registry.RegistryError(
+            f"arrival model {spec.arrival!r} returned {len(gaps)} gaps "
+            f"for {count} tasks")
+    releases: List[int] = []
+    clock = 0
+    for gap in gaps:
+        clock += max(0, int(gap))
+        releases.append(clock)
+    return releases
+
+
+def compile_scenario(spec: ScenarioSpec, case_context: Dict[str, Any],
+                     program: TaskProgram) -> CompiledScenario:
+    """Apply ``spec`` to ``program``, drawing every shared random choice.
+
+    The arrival model sees the *nominal* program's mean task cost (the
+    case's published granularity) so offered load is independent of the
+    ETM draw; both built-in jitter models are mean-1 anyway.
+    """
+    payloads = [task.payload_cycles for task in program.tasks]
+    if spec.etm != DEFAULT_ETM or spec.etm_params:
+        payloads = _resample_payloads(spec, case_context, payloads)
+    releases: Optional[List[int]] = None
+    if spec.arrival != DEFAULT_ARRIVAL or spec.arrival_params:
+        releases = _release_schedule(spec, case_context, len(payloads),
+                                     program.mean_task_cycles)
+    if spec.scheduler != DEFAULT_SCHEDULER or spec.scheduler_params:
+        # Validate the policy name eagerly (did-you-mean at compile time,
+        # not mid-simulation), even though instantiation is per-runtime.
+        registry.scheduler(spec.scheduler)
+    tasks = []
+    for task in program.tasks:
+        release = releases[task.index] if releases is not None else 0
+        deadline: Optional[int] = None
+        if spec.deadline_factor > 0:
+            slack = max(1, int(round(spec.deadline_factor
+                                     * payloads[task.index])))
+            deadline = release + slack
+        tasks.append(replace(task,
+                             payload_cycles=payloads[task.index],
+                             release_cycle=release,
+                             deadline_cycle=deadline))
+    transformed = TaskProgram(
+        name=program.name,
+        tasks=tasks,
+        taskwait_after=set(program.taskwait_after),
+        serial_sections_cycles=program.serial_sections_cycles,
+        parameters=dict(program.parameters),
+    )
+    return CompiledScenario(spec, case_context, transformed)

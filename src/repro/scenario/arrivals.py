@@ -1,0 +1,93 @@
+"""Built-in arrival models: periodic, Poisson, bursty (2-state MMPP).
+
+An arrival model turns a task count into a sequence of *inter-arrival
+gaps* in cycles; the scenario compiler accumulates them into each task's
+``release_cycle``.  Gaps are expressed relative to the program's mean
+task cost so one ``load`` knob means the same thing across workloads:
+``load=1.0`` releases on average one task per mean-task-time (a single
+core at 100% utilisation), ``load=4.0`` four times as fast.
+
+Models draw exclusively from the :class:`~repro.scenario.stream.Pcg64Stream`
+they are handed, never from global randomness, so a fixed seed fixes the
+release schedule bit-for-bit in every backend.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ReproError
+from repro.registry import register_arrival
+from repro.scenario.stream import Pcg64Stream
+
+__all__ = ["PeriodicArrivals", "PoissonArrivals", "BurstyArrivals"]
+
+
+def _gap_scale(mean_task_cycles: float, load: float) -> float:
+    """Mean inter-arrival gap in cycles for a given offered load."""
+    if load <= 0:
+        raise ReproError("arrival load must be positive")
+    return max(float(mean_task_cycles), 1.0) / load
+
+
+@register_arrival("periodic", tags=("builtin",), defaults={"load": 1.0})
+class PeriodicArrivals:
+    """Constant inter-arrival gap of one mean task time per ``1/load``."""
+
+    def __init__(self, load: float = 1.0) -> None:
+        self.load = float(load)
+
+    def inter_arrivals(self, stream: Pcg64Stream, count: int,
+                       mean_task_cycles: float) -> List[int]:
+        gap = max(1, int(round(_gap_scale(mean_task_cycles, self.load))))
+        return [gap] * count
+
+
+@register_arrival("poisson", tags=("builtin",), defaults={"load": 1.0})
+class PoissonArrivals:
+    """Exponential inter-arrival gaps (memoryless Poisson process)."""
+
+    def __init__(self, load: float = 1.0) -> None:
+        self.load = float(load)
+
+    def inter_arrivals(self, stream: Pcg64Stream, count: int,
+                       mean_task_cycles: float) -> List[int]:
+        mean_gap = _gap_scale(mean_task_cycles, self.load)
+        return [max(0, int(round(stream.expovariate(mean_gap))))
+                for _ in range(count)]
+
+
+@register_arrival("bursty", tags=("builtin",),
+                  defaults={"load": 1.0, "burst": 8.0, "switch": 0.1})
+class BurstyArrivals:
+    """Two-state MMPP: exponential gaps alternating fast/slow phases.
+
+    In the *burst* phase gaps shrink by ``burst``×; in the *lull* phase
+    they stretch by ``burst``×, keeping the long-run geometric-mean gap
+    at the ``load``-implied value.  After every arrival the phase flips
+    with probability ``switch``, so ``1/switch`` is the expected phase
+    length in tasks.
+    """
+
+    def __init__(self, load: float = 1.0, burst: float = 8.0,
+                 switch: float = 0.1) -> None:
+        if burst < 1.0:
+            raise ReproError("bursty burst factor must be >= 1")
+        if not 0.0 < switch <= 1.0:
+            raise ReproError("bursty switch probability must be in (0, 1]")
+        self.load = float(load)
+        self.burst = float(burst)
+        self.switch = float(switch)
+
+    def inter_arrivals(self, stream: Pcg64Stream, count: int,
+                       mean_task_cycles: float) -> List[int]:
+        mean_gap = _gap_scale(mean_task_cycles, self.load)
+        in_burst = stream.random() < 0.5
+        gaps: List[int] = []
+        for _ in range(count):
+            phase_mean = (mean_gap / self.burst if in_burst
+                          else mean_gap * self.burst)
+            gaps.append(max(0, int(round(stream.expovariate(phase_mean)))))
+            if stream.random() < self.switch:
+                in_burst = not in_burst
+        return gaps

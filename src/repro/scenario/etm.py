@@ -1,0 +1,75 @@
+"""Built-in execution-time models: constant, uniform, lognormal.
+
+An ETM resamples each task's payload as jitter around its *nominal*
+cost, so the task graph's shape (dependences, taskwait phases) is
+untouched while per-task granularity varies.  The uniform and lognormal
+multipliers are mean-1 by construction, keeping the expected total work
+equal to the deterministic program's.
+
+Zero-cost tasks stay at zero (several microbenchmarks use empty tasks
+to isolate runtime overhead — jitter must not invent work for them);
+any positive nominal cost samples to at least one cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import ReproError
+from repro.registry import register_etm
+from repro.scenario.stream import Pcg64Stream
+
+__all__ = ["ConstantEtm", "UniformEtm", "LognormalEtm"]
+
+
+def _apply_multiplier(nominal: int, multiplier: float) -> int:
+    if nominal <= 0:
+        return nominal
+    return max(1, int(round(nominal * multiplier)))
+
+
+@register_etm("constant", tags=("builtin",), defaults={"factor": 1.0})
+class ConstantEtm:
+    """Deterministic scaling of every nominal cost by ``factor``."""
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor <= 0:
+            raise ReproError("constant ETM factor must be positive")
+        self.factor = float(factor)
+
+    def sample(self, stream: Pcg64Stream, nominal: int) -> int:
+        return _apply_multiplier(nominal, self.factor)
+
+
+@register_etm("uniform", tags=("builtin",), defaults={"low": 0.8, "high": 1.2})
+class UniformEtm:
+    """Multiplier drawn uniformly from ``[low, high]`` (mean-1 default)."""
+
+    def __init__(self, low: float = 0.8, high: float = 1.2) -> None:
+        if low <= 0 or high < low:
+            raise ReproError("uniform ETM needs 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, stream: Pcg64Stream, nominal: int) -> int:
+        multiplier = self.low + (self.high - self.low) * stream.random()
+        return _apply_multiplier(nominal, multiplier)
+
+
+@register_etm("lognormal", tags=("builtin",), defaults={"sigma": 0.25})
+class LognormalEtm:
+    """Lognormal multiplier normalised to mean 1.
+
+    ``exp(N(-sigma²/2, sigma))`` has expectation exactly 1, so jitter
+    reshapes the cost distribution's tail without shifting total work.
+    """
+
+    def __init__(self, sigma: float = 0.25) -> None:
+        if sigma <= 0:
+            raise ReproError("lognormal ETM sigma must be positive")
+        self.sigma = float(sigma)
+
+    def sample(self, stream: Pcg64Stream, nominal: int) -> int:
+        multiplier = math.exp(
+            stream.normal(-0.5 * self.sigma * self.sigma, self.sigma))
+        return _apply_multiplier(nominal, multiplier)

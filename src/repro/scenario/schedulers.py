@@ -1,0 +1,113 @@
+"""Built-in scheduler policies applied to the simulated ready queues.
+
+The paper's Picos hardware (and the Nanos software fallback) serve
+ready tasks strictly FIFO.  A scheduler policy replaces the *choice of
+which queued entry to pop* while leaving every cost model, handshake
+and queue-capacity effect intact: the policy sees the queue's current
+entries plus a :class:`TaskView` resolving each entry to its task's
+payload and deadline, and returns the index to dequeue.
+
+``select`` must be a pure function of ``(items, view, stream draws)``:
+the simulation is single-threaded and deterministic, so a seeded stream
+makes even the ``random`` policy bit-reproducible across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.registry import register_scheduler
+from repro.scenario.stream import Pcg64Stream
+
+__all__ = ["TaskView", "FifoScheduler", "PriorityScheduler",
+           "RandomScheduler", "LifoScheduler"]
+
+
+class TaskView:
+    """Resolves ready-queue entries to task attributes for policies.
+
+    Queue entries are either software task indices (Nanos software
+    scheduler queue) or ``ReadyTask`` packets carrying a ``sw_id``
+    (Picos work-fetch queue); :meth:`sw_id` normalises both.
+    """
+
+    def __init__(self, payloads: Sequence[int],
+                 deadlines: Sequence[Optional[int]]) -> None:
+        self._payloads = payloads
+        self._deadlines = deadlines
+
+    @staticmethod
+    def sw_id(item: object) -> int:
+        if isinstance(item, int):
+            return item
+        return int(getattr(item, "sw_id"))
+
+    def payload(self, sw_id: int) -> int:
+        if 0 <= sw_id < len(self._payloads):
+            return self._payloads[sw_id]
+        return 0
+
+    def deadline(self, sw_id: int) -> Optional[int]:
+        if 0 <= sw_id < len(self._deadlines):
+            return self._deadlines[sw_id]
+        return None
+
+
+@register_scheduler("fifo", tags=("builtin", "paper"))
+class FifoScheduler:
+    """The paper's policy: first-in first-out (hot path untouched)."""
+
+    #: Marks this policy as the identity — no selector is installed, so
+    #: the queues keep their zero-overhead ``popleft`` fast path.
+    passthrough = True
+
+    def select(self, items: Sequence[object], view: TaskView,
+               stream: Pcg64Stream) -> int:
+        return 0
+
+
+@register_scheduler("priority", tags=("builtin",))
+class PriorityScheduler:
+    """Earliest-deadline-first, falling back to shortest-job-first.
+
+    Entries with a deadline always outrank entries without one; ties
+    break on the smaller software task id so the order is total and
+    reproducible.
+    """
+
+    def select(self, items: Sequence[object], view: TaskView,
+               stream: Pcg64Stream) -> int:
+        best_index = 0
+        best_key = None
+        for index, item in enumerate(items):
+            sw_id = view.sw_id(item)
+            deadline = view.deadline(sw_id)
+            key = ((0, deadline, sw_id) if deadline is not None
+                   else (1, view.payload(sw_id), sw_id))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+
+@register_scheduler("random", tags=("builtin",))
+class RandomScheduler:
+    """Uniform random pick from the ready entries (seeded stream)."""
+
+    def select(self, items: Sequence[object], view: TaskView,
+               stream: Pcg64Stream) -> int:
+        return stream.randrange(len(items))
+
+
+@register_scheduler("lifo", tags=("builtin", "work-stealing"))
+class LifoScheduler:
+    """Newest-first pick — the work-stealing owner's LIFO discipline.
+
+    Serving the most recently enqueued ready task models the hot-cache
+    owner path of a work-stealing deque (the FIFO default corresponds
+    to the thief path).
+    """
+
+    def select(self, items: Sequence[object], view: TaskView,
+               stream: Pcg64Stream) -> int:
+        return len(items) - 1

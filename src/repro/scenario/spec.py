@@ -1,0 +1,152 @@
+"""Declarative description of one stochastic scenario.
+
+A :class:`ScenarioSpec` names an arrival model, an execution-time model
+(ETM), a scheduler policy, a seed, and an optional deadline factor.  It
+is a frozen, hashable dataclass made only of JSON-friendly scalars and
+tuples so it can ride inside :class:`~repro.harness.runner.CaseUnit`
+payloads to pool workers and inside cache-key fingerprints.
+
+The default spec — no arrival jitter, no ETM jitter, the paper's FIFO
+Picos policy, seed 0 — describes exactly what the harness did before the
+stochastic layer existed.  :func:`canonical_scenario` maps that default
+(and ``None``) to ``None`` so default cache keys omit the scenario
+component entirely and stay byte-identical with pre-scenario releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.errors import ReproError
+
+__all__ = ["ScenarioSpec", "canonical_scenario"]
+
+ParamItems = Tuple[Tuple[str, Any], ...]
+
+#: Component names describing "leave the harness deterministic".
+DEFAULT_ARRIVAL = "none"
+DEFAULT_ETM = "none"
+DEFAULT_SCHEDULER = "fifo"
+
+
+def _canonical_params(params: Optional[Mapping[str, Any]]) -> ParamItems:
+    if not params:
+        return ()
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if not isinstance(value, (bool, int, float, str)):
+            raise ReproError(
+                f"scenario parameter {key!r} must be a scalar, "
+                f"got {type(value).__name__}")
+        items.append((str(key), value))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One stochastic scenario: models, scheduler, seed, deadlines."""
+
+    arrival: str = DEFAULT_ARRIVAL
+    arrival_params: ParamItems = ()
+    etm: str = DEFAULT_ETM
+    etm_params: ParamItems = ()
+    scheduler: str = DEFAULT_SCHEDULER
+    scheduler_params: ParamItems = ()
+    seed: int = 0
+    deadline_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ReproError("scenario seed must be an integer")
+        if self.deadline_factor < 0:
+            raise ReproError("deadline_factor must be non-negative")
+
+    @staticmethod
+    def make(arrival: str = DEFAULT_ARRIVAL,
+             etm: str = DEFAULT_ETM,
+             scheduler: str = DEFAULT_SCHEDULER,
+             seed: int = 0,
+             deadline_factor: float = 0.0,
+             arrival_params: Optional[Mapping[str, Any]] = None,
+             etm_params: Optional[Mapping[str, Any]] = None,
+             scheduler_params: Optional[Mapping[str, Any]] = None,
+             ) -> "ScenarioSpec":
+        """Build a spec from plain dicts, canonicalising parameter order."""
+        return ScenarioSpec(
+            arrival=arrival,
+            arrival_params=_canonical_params(arrival_params),
+            etm=etm,
+            etm_params=_canonical_params(etm_params),
+            scheduler=scheduler,
+            scheduler_params=_canonical_params(scheduler_params),
+            seed=seed,
+            deadline_factor=deadline_factor,
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True when this spec reproduces the deterministic harness.
+
+        The seed participates: ``seed=3`` with all-default models is
+        *not* the default, so distinct seeds never share a cache key
+        even before any stochastic model is selected.
+        """
+        return (self.arrival == DEFAULT_ARRIVAL
+                and not self.arrival_params
+                and self.etm == DEFAULT_ETM
+                and not self.etm_params
+                and self.scheduler == DEFAULT_SCHEDULER
+                and not self.scheduler_params
+                and self.seed == 0
+                and self.deadline_factor == 0.0)
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return ScenarioSpec(
+            arrival=self.arrival, arrival_params=self.arrival_params,
+            etm=self.etm, etm_params=self.etm_params,
+            scheduler=self.scheduler,
+            scheduler_params=self.scheduler_params,
+            seed=seed, deadline_factor=self.deadline_factor)
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``bursty+lognormal/random@seed7``."""
+
+        def fmt(name: str, params: ParamItems) -> str:
+            if not params:
+                return name
+            inner = ",".join(f"{key}={value}" for key, value in params)
+            return f"{name}({inner})"
+
+        text = "+".join((fmt(self.arrival, self.arrival_params),
+                         fmt(self.etm, self.etm_params)))
+        text += "/" + fmt(self.scheduler, self.scheduler_params)
+        if self.deadline_factor:
+            text += f"!d{self.deadline_factor:g}"
+        return f"{text}@seed{self.seed}"
+
+    def context(self) -> Dict[str, Any]:
+        """JSON-friendly view used in stream derivation and cache keys."""
+        return {
+            "arrival": [self.arrival, [list(item) for item
+                                       in self.arrival_params]],
+            "etm": [self.etm, [list(item) for item in self.etm_params]],
+            "scheduler": [self.scheduler, [list(item) for item
+                                           in self.scheduler_params]],
+            "seed": self.seed,
+            "deadline_factor": self.deadline_factor,
+        }
+
+
+def canonical_scenario(
+        scenario: Optional[ScenarioSpec]) -> Optional[ScenarioSpec]:
+    """Map the default scenario (or ``None``) to ``None``.
+
+    Cache keys and sweep memo keys include the scenario component only
+    when this returns a spec, which keeps every pre-scenario fingerprint
+    byte-identical (mirroring ``canonical_runtime_selection``).
+    """
+    if scenario is None or scenario.is_default:
+        return None
+    return scenario

@@ -1,0 +1,117 @@
+"""Deterministic random streams for stochastic scenarios.
+
+The stochastic layer must draw *identical* sequences no matter where a
+unit executes — serial backend, warm process-pool worker, or a fresh
+retry worker.  Relying on :mod:`random` (process-global state) or NumPy
+(optional dependency in workers) would break that, so this module ships
+a small pure-Python PCG64 (XSL-RR 128/64) generator whose entire state
+is derived from a SHA-256 hash of a canonical JSON context.  Two
+processes that derive a stream from the same ``(seed, *context)`` pair
+therefore produce bit-identical draws.
+
+The generator follows the PCG64 reference construction (O'Neill, 2014):
+a 128-bit LCG state advanced with the canonical multiplier, output via
+an xor-shift-low + random-rotate of the high word.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Optional, Sequence
+
+__all__ = ["Pcg64Stream", "derive_stream", "stream_key"]
+
+_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK128 = (1 << 128) - 1
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def _context_jsonable(value: Any) -> Any:
+    """Coerce a stream-derivation context into canonical JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _context_jsonable(val)
+                for key, val in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_context_jsonable(item) for item in value]
+    raise TypeError(
+        f"stream context elements must be JSON-like, got {type(value)!r}")
+
+
+def stream_key(seed: int, context: Sequence[Any]) -> str:
+    """Canonical hash of ``(seed, *context)`` naming one stream."""
+    payload = json.dumps(_context_jsonable([seed, list(context)]),
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class Pcg64Stream:
+    """PCG64 XSL-RR 128/64 with float/int/normal helpers."""
+
+    def __init__(self, state: int, increment: int) -> None:
+        self._state = state & _MASK128
+        # The increment must be odd for the LCG to reach full period.
+        self._inc = (increment | 1) & _MASK128
+        self._spare_normal: Optional[float] = None
+        # Warm up once so correlated seeds decorrelate immediately.
+        self.next64()
+
+    def next64(self) -> int:
+        state = self._state
+        self._state = (state * _MULT + self._inc) & _MASK128
+        xored = ((state >> 64) ^ state) & 0xFFFFFFFFFFFFFFFF
+        rot = state >> 122
+        return ((xored >> rot) | (xored << (64 - rot))) & 0xFFFFFFFFFFFFFFFF
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of entropy."""
+        return (self.next64() >> 11) * _INV_2_53
+
+    def randrange(self, bound: int) -> int:
+        """Unbiased integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("randrange bound must be positive")
+        threshold = (1 << 64) - ((1 << 64) % bound)
+        while True:
+            draw = self.next64()
+            if draw < threshold:
+                return draw % bound
+
+    def expovariate(self, mean: float) -> float:
+        """Exponential draw with the given mean (not rate)."""
+        if mean <= 0:
+            raise ValueError("expovariate mean must be positive")
+        return -mean * math.log(1.0 - self.random())
+
+    def normal(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Gaussian draw via Box-Muller (caches the spare deviate)."""
+        spare = self._spare_normal
+        if spare is not None:
+            self._spare_normal = None
+            return mu + sigma * spare
+        while True:
+            u1 = self.random()
+            if u1 > 0.0:
+                break
+        u2 = self.random()
+        radius = math.sqrt(-2.0 * math.log(u1))
+        theta = 2.0 * math.pi * u2
+        self._spare_normal = radius * math.sin(theta)
+        return mu + sigma * radius * math.cos(theta)
+
+
+def derive_stream(seed: int, *context: Any) -> Pcg64Stream:
+    """Derive an independent :class:`Pcg64Stream` from ``(seed, *context)``.
+
+    The 256-bit digest of the canonical context feeds the 128-bit state
+    and 128-bit increment, so distinct contexts land on statistically
+    independent streams and every process derives the same one.
+    """
+    digest = hashlib.sha256(
+        stream_key(seed, context).encode("ascii")).digest()
+    state = int.from_bytes(digest[:16], "big")
+    increment = int.from_bytes(digest[16:], "big")
+    return Pcg64Stream(state, increment)

@@ -46,6 +46,12 @@ class DecoupledQueue(Generic[T]):
         self.high_watermark = 0
         self._enqueue_observers: List[Any] = []
         self._dequeue_observers: List[Any] = []
+        #: Optional scheduling policy hook: ``selector(items) -> index``
+        #: names which queued entry the next dequeue serves.  ``None``
+        #: (the default, and the paper's FIFO behaviour) keeps the
+        #: zero-overhead ``popleft`` fast path.  Installed by the
+        #: stochastic scenario layer (:mod:`repro.scenario`).
+        self.selector = None
 
     def subscribe_enqueue(self, callback) -> None:
         """Register ``callback()`` to run after every enqueue (HW wake-up)."""
@@ -151,9 +157,28 @@ class DecoupledQueue(Generic[T]):
         if self._enqueue_observers:
             self._notify(self._enqueue_observers)
 
-    def _dequeue(self) -> T:
-        item = self._items.popleft()
+    def _pop_item(self) -> T:
+        """Remove and return the entry the active policy selects.
+
+        Every dequeue path (non-blocking, blocking, waiter wake-up) funnels
+        through here so a selector cannot be bypassed.  Out-of-range
+        selector answers are clamped rather than raised: a policy bug must
+        not deadlock the simulated hardware.
+        """
+        items = self._items
+        selector = self.selector
         self.total_dequeued += 1
+        if selector is not None and len(items) > 1:
+            index = selector(items)
+            index = max(0, min(int(index), len(items) - 1))
+            if index:
+                item = items[index]
+                del items[index]
+                return item
+        return items.popleft()
+
+    def _dequeue(self) -> T:
+        item = self._pop_item()
         if self._put_waiters or self._get_waiters:
             self._wake_putters()
         if self._dequeue_observers:
@@ -167,8 +192,7 @@ class DecoupledQueue(Generic[T]):
     def _wake_getters(self) -> None:
         while self._items and self._get_waiters:
             process = self._get_waiters.popleft()
-            item = self._items.popleft()
-            self.total_dequeued += 1
+            item = self._pop_item()
             self.engine._resume(process, item)
         # Dequeues above may have made room for blocked putters.
         self._wake_putters()
@@ -184,8 +208,7 @@ class DecoupledQueue(Generic[T]):
         # Newly enqueued items may satisfy blocked getters.
         while self._items and self._get_waiters:
             process = self._get_waiters.popleft()
-            item = self._items.popleft()
-            self.total_dequeued += 1
+            item = self._pop_item()
             self.engine._resume(process, item)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -253,6 +276,5 @@ class ProtocolCrossingQueue(DecoupledQueue[T]):
             self.engine._resume(process, None)
         while self._items and self._get_waiters:
             waiter = self._get_waiters.popleft()
-            landed = self._items.popleft()
-            self.total_dequeued += 1
+            landed = self._pop_item()
             self.engine._resume(waiter, landed)
