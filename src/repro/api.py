@@ -180,7 +180,8 @@ class Study:
         self._deadline_factor = 0.0
         self._seeds: Optional[List[int]] = None
         self._label: Optional[str] = None
-        self._cache_dir: Optional[Path] = None
+        self._cache_dir = None
+        self._cache_budget = None
         self._artifact_dir: Optional[Path] = None
         self._bench_path: Optional[Path] = None
         self._trace_path: Optional[Path] = None
@@ -367,9 +368,19 @@ class Study:
         self._label = text
         return self
 
-    def cache(self, cache_dir) -> "Study":
-        """Enable the on-disk result cache under ``cache_dir``."""
-        self._cache_dir = Path(cache_dir)
+    def cache(self, cache_dir, budget=None) -> "Study":
+        """Enable the result cache.
+
+        ``cache_dir`` is a directory path, a ``mem:``/``dir:``/
+        ``sharded:``/``tiered:LOCAL|SHARED`` spec string, or a pre-built
+        :class:`~repro.harness.cache.CacheStore`.  ``budget`` bounds the
+        store's size (bytes or a ``512M``-style string) with LRU
+        eviction; default unbounded (or ``$REPRO_CACHE_BUDGET``).
+        """
+        self._cache_dir = (Path(cache_dir)
+                           if isinstance(cache_dir, (str, Path))
+                           and ":" not in str(cache_dir) else cache_dir)
+        self._cache_budget = budget
         return self
 
     def artifacts(self, artifact_dir) -> "Study":
@@ -423,6 +434,7 @@ class Study:
                 config=self._config,
                 jobs=jobs,
                 cache_dir=self._cache_dir,
+                cache_budget=self._cache_budget,
                 progress=progress,
                 bench_path=self._bench_path,
                 run_label=label,

@@ -42,12 +42,21 @@ Typical usage::
 from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import (
     PerfTrajectory,
+    measure_cache,
     measure_case,
     measure_pool,
     measure_synthetic,
     run_engine_bench,
 )
-from repro.harness.cache import CacheStats, ResultCache
+from repro.harness.cache import (
+    CacheStats,
+    CacheStore,
+    MemoryStore,
+    ResultCache,
+    ShardedDiskStore,
+    TieredStore,
+    open_store,
+)
 from repro.harness.engine import ExperimentEngine
 from repro.harness.executor import (
     ExecutorBackend,
@@ -94,6 +103,7 @@ __all__ = [
     "ArtifactStore",
     "CACHE_SCHEMA",
     "CacheStats",
+    "CacheStore",
     "CaseUnit",
     "ConsoleSink",
     "ExecutorBackend",
@@ -101,6 +111,7 @@ __all__ = [
     "GridPoint",
     "GridResult",
     "JsonlSink",
+    "MemoryStore",
     "NullProgress",
     "NullSink",
     "PerfTrajectory",
@@ -110,10 +121,12 @@ __all__ = [
     "ResultCache",
     "RunManifest",
     "SerialBackend",
+    "ShardedDiskStore",
     "SpanHandle",
     "SweepError",
     "SweepGrid",
     "TelemetrySink",
+    "TieredStore",
     "TraceSummary",
     "Tracer",
     "UnitFailure",
@@ -126,10 +139,12 @@ __all__ = [
     "encode",
     "experiment_cache_key",
     "grid_cache_key",
+    "measure_cache",
     "measure_case",
     "measure_pool",
     "measure_synthetic",
     "null_tracer",
+    "open_store",
     "progress_tracer",
     "read_trace",
     "run_case_grid",

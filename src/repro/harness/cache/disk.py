@@ -1,0 +1,197 @@
+"""The legacy flat on-disk backend (``dir:`` spec scheme).
+
+Entries are JSON documents stored under
+``<cache_dir>/<key[:2]>/<key>.json`` — the full 64-hex-digit key as the
+file name, exactly the layout every pre-refactor cache directory holds.
+:class:`ResultCache` keeps that layout (and the public name the rest of
+the codebase historically imported) so existing directories and tests
+keep working verbatim; new caches default to the sharded backend, which
+also *reads* this layout through a fallback path and migrates it in
+place (see :mod:`repro.harness.cache.sharded`).
+
+Writes are atomic (write to a temporary sibling, then
+:func:`os.replace`) so parallel workers and concurrent harness
+invocations can share one cache directory; unreadable or corrupt entries
+are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.harness.cache.store import MISS, CacheStore, stats_file_of
+
+__all__ = ["ResultCache", "FlatDiskStore", "STALE_TMP_SECONDS"]
+
+#: Age (seconds) past which a ``*.tmp`` sibling counts as a stale dropping
+#: of a killed writer rather than a concurrent in-flight write.  Real
+#: writes live for milliseconds; an hour is conservatively beyond any of
+#: them.
+STALE_TMP_SECONDS = 3600.0
+
+
+def read_document(path: Path) -> object:
+    """The payload of the entry document at ``path``, or :data:`MISS`.
+
+    Any unreadable, unparsable or schema-less document is a miss — the
+    cache never fails a run over a corrupt entry.
+    """
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        return document["payload"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return MISS
+
+
+def write_document(path: Path, document: dict, tmp_prefix: str) -> Path:
+    """Atomically persist ``document`` at ``path`` via tmp+rename.
+
+    The temporary lives in the *same directory* as the target so the
+    :func:`os.replace` is a same-filesystem rename — atomic even with
+    concurrent writers racing on the same key (last writer wins a
+    complete document; readers never observe a torn one).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent,
+        prefix=tmp_prefix, suffix=".tmp", delete=False,
+    )
+    try:
+        with handle:
+            json.dump(document, handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def sweep_stale_tmp(root: Path) -> None:
+    """Remove hour-old ``*.tmp`` droppings of killed writers under ``root``.
+
+    Only temporaries older than :data:`STALE_TMP_SECONDS` are swept, so a
+    *concurrent* writer's in-flight temporary is never pulled out from
+    under its ``os.replace``.
+    """
+    if not root.is_dir():
+        return
+    cutoff = time.time() - STALE_TMP_SECONDS
+    for stale in list(root.glob("*/*.tmp")):
+        try:
+            if stale.stat().st_mtime < cutoff:
+                stale.unlink()
+        except OSError:
+            pass
+
+
+class ResultCache(CacheStore):
+    """Content-addressed JSON result cache in the legacy flat layout.
+
+    ``tracer`` (optional) receives hit/miss/store counters and cumulative
+    read/write latency; see :mod:`repro.harness.cache.store`.
+    """
+
+    def __init__(self, cache_dir: os.PathLike, tracer=None) -> None:
+        super().__init__(tracer=tracer)
+        self.root = Path(cache_dir)
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """Location of the entry addressed by ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # CacheStore backend hooks
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> object:
+        return read_document(self.path_for(key))
+
+    def _write(self, key: str, document: dict) -> Path:
+        return write_document(self.path_for(key), document,
+                              tmp_prefix=f".{key[:8]}-")
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (does not touch the stats)."""
+        return self.path_for(key).is_file()
+
+    def delete(self, key: str) -> bool:
+        """Drop the entry addressed by ``key``; True if one was removed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Lifetime statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def stats_path(self) -> Path:
+        """Location of the lifetime-counter document."""
+        return stats_file_of(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def entries(self) -> Iterator[Path]:
+        """Every entry file currently in the cache.
+
+        The listing is a snapshot of a directory other processes may be
+        mutating; consumers (:meth:`size_bytes`, :meth:`clear`) tolerate
+        entries that vanish between listing and use.  Dotfile siblings
+        (``.index`` sidecars a sharded store may have left behind) are
+        never entries.
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            if not path.name.startswith("."):
+                yield path
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries.
+
+        An entry deleted concurrently (another process clearing, or a
+        ``demote_hit``) is simply skipped rather than raising from
+        ``stat()``.
+        """
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed.
+
+        Also sweeps stale ``*.tmp`` siblings — the droppings of a writer
+        killed between ``NamedTemporaryFile`` and ``os.replace`` — which
+        would otherwise accumulate forever (they are never addressed by
+        any key); temporaries do not count toward the return value.
+        """
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        sweep_stale_tmp(self.root)
+        return removed
+
+
+#: Spec-scheme-flavoured alias: ``dir:PATH`` opens a FlatDiskStore.
+FlatDiskStore = ResultCache

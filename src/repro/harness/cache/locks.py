@@ -1,0 +1,103 @@
+"""Advisory file locks for cache *maintenance* operations.
+
+The cache's hot path never locks: entry reads are plain opens and entry
+writes are atomic same-directory tmp+rename, so any number of concurrent
+processes can ``get``/``put`` safely without coordination.  Locks exist
+only for the rare maintenance cycles that must observe a consistent
+whole-store view — eviction and the lifetime-stats merge — where two
+concurrent runs would otherwise double-delete or lose each other's delta.
+
+:class:`FileLock` is the classic ``O_CREAT|O_EXCL`` lock file: creation
+is atomic on every POSIX filesystem (including NFS for local-ish use),
+the holder's pid is recorded for debugging, and a lock whose file is
+older than ``stale_seconds`` is treated as the dropping of a killed
+process and broken.  ``acquire`` polls up to ``timeout`` seconds and
+returns False rather than raising — callers decide whether skipping the
+maintenance cycle is acceptable (put-time eviction: yes; ``repro cache
+evict``: no).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = ["FileLock"]
+
+#: Age past which a lock file counts as the dropping of a killed holder.
+#: Maintenance cycles run for milliseconds-to-seconds; a minute is
+#: conservatively beyond any of them.
+_DEFAULT_STALE_SECONDS = 60.0
+
+
+class FileLock:
+    """An ``O_CREAT|O_EXCL`` lock file with stale-holder breaking."""
+
+    def __init__(self, path, timeout: float = 5.0,
+                 stale_seconds: float = _DEFAULT_STALE_SECONDS,
+                 poll: float = 0.01) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_seconds = stale_seconds
+        self.poll = poll
+        self._held = False
+
+    def acquire(self) -> bool:
+        """Take the lock, polling up to ``timeout`` seconds.
+
+        Returns False on timeout (never raises): the caller decides
+        whether the guarded maintenance cycle can be skipped or retried.
+        """
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_stale()
+            except OSError:
+                # Root directory missing (fresh cache): create and retry.
+                try:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                except OSError:
+                    return False
+            else:
+                try:
+                    os.write(fd, str(os.getpid()).encode("ascii"))
+                finally:
+                    os.close(fd)
+                self._held = True
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll)
+
+    def _break_stale(self) -> None:
+        """Remove the lock file if its holder died long ago.
+
+        Two breakers racing can in principle both win the re-create; the
+        stale threshold is far beyond any live maintenance cycle, so this
+        trades a theoretical double-run for never deadlocking on the
+        droppings of a killed process.
+        """
+        try:
+            if time.time() - self.path.stat().st_mtime > self.stale_seconds:
+                self.path.unlink()
+        except OSError:
+            pass
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -1,0 +1,98 @@
+"""Eviction policies and the ``--cache-budget`` size grammar.
+
+A policy decides *when* a store must shrink; the store itself decides
+*what* to remove (LRU by last access, see
+:meth:`~repro.harness.cache.sharded.ShardedDiskStore.evict`).  The
+default :class:`NoEviction` preserves the historical behaviour — the
+cache grows without bound — so nothing changes for existing users until
+they opt in with ``--cache-budget`` / ``$REPRO_CACHE_BUDGET``.
+
+Put-time enforcement is deliberately best-effort: it is triggered by the
+writer's cheap in-memory size estimate and takes the eviction lock
+non-blocking, so a put never stalls behind another process's maintenance
+cycle.  ``repro cache evict`` is the strict, blocking counterpart.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Union
+
+from repro.common.errors import EvaluationError
+
+__all__ = ["EvictionPolicy", "NoEviction", "LruEviction", "parse_budget"]
+
+_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3, "t": 1024 ** 4}
+
+
+def parse_budget(value: Union[int, str, None]) -> Optional[int]:
+    """A byte budget from an int or a ``512M``-style string.
+
+    Accepts plain byte counts and binary ``K``/``M``/``G``/``T`` suffixes
+    (case-insensitive, optional trailing ``B`` / ``iB``); ``None``, empty
+    and ``"none"`` mean unbounded.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise EvaluationError(f"invalid cache budget: {value!r}")
+    if isinstance(value, int):
+        budget = value
+    else:
+        text = str(value).strip().lower()
+        if text in ("", "none"):
+            return None
+        match = re.fullmatch(r"(\d+(?:\.\d+)?)\s*([kmgt])?i?b?", text)
+        if match is None:
+            raise EvaluationError(
+                f"invalid cache budget {value!r} "
+                "(expected bytes or a K/M/G/T-suffixed size, e.g. 512M)"
+            )
+        scale = _SUFFIXES.get(match.group(2) or "", 1)
+        budget = int(float(match.group(1)) * scale)
+    if budget <= 0:
+        raise EvaluationError(
+            f"cache budget must be positive, got {value!r}"
+        )
+    return budget
+
+
+class EvictionPolicy:
+    """Base policy: never evicts (the historical unbounded behaviour)."""
+
+    name = "none"
+    budget_bytes: Optional[int] = None
+
+    def enforce(self, store) -> None:
+        """Give the policy a chance to shrink ``store`` after a put."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoEviction(EvictionPolicy):
+    """Explicit alias of the default unbounded policy."""
+
+
+class LruEviction(EvictionPolicy):
+    """Keep the store under ``budget_bytes``, removing least-recently-used
+    entries first (last access approximated by hit/store touch times)."""
+
+    name = "lru"
+
+    def __init__(self, budget_bytes: int) -> None:
+        budget = parse_budget(budget_bytes)
+        if budget is None:
+            raise EvaluationError("LruEviction requires a byte budget")
+        self.budget_bytes = budget
+
+    def enforce(self, store) -> None:
+        # The estimate check keeps the common case (store under budget) at
+        # zero extra IO; evict() re-measures exactly under its lock.
+        estimate = getattr(store, "_estimated_size", None)
+        if estimate is not None and estimate() <= self.budget_bytes:
+            return
+        store.evict(self.budget_bytes, block=False)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(budget_bytes={self.budget_bytes})"

@@ -1,0 +1,116 @@
+"""Cache counters and the lifetime ``stats.json`` document.
+
+:class:`CacheStats` is the in-memory hit/miss/store/evict counter block of
+one store instance.  Across instances, a disk-backed store folds its
+session counters into a ``stats.json`` document in its root directory —
+the *lifetime* totals ``repro cache --stats`` reports.
+
+The lifetime document used to be a last-writer-wins read-modify-write:
+two engines closing concurrently could overwrite each other's delta.
+:func:`merge_lifetime_stats` fixes that lost-update race by serialising
+the read-modify-rename cycle under a :class:`~repro.harness.cache.locks.
+FileLock` sibling (``.stats.lock``); a caller that cannot take the lock
+keeps its delta for the next attempt instead of dropping it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.harness.cache.locks import FileLock
+
+__all__ = ["CacheStats", "STATS_FILE", "read_lifetime_stats",
+           "merge_lifetime_stats"]
+
+#: Name of the lifetime-counter document inside a cache directory
+#: (outside the ``<shard>/<name>.json`` entry layout, so it is never
+#: mistaken for an entry).
+STATS_FILE = "stats.json"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/evict counters of one cache store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __bool__(self) -> bool:
+        """Whether any counter is non-zero (a delta worth persisting)."""
+        return bool(self.hits or self.misses or self.stores
+                    or self.evictions)
+
+
+def read_lifetime_stats(path: Path) -> CacheStats:
+    """The totals recorded in the lifetime document at ``path``.
+
+    A missing or corrupt document reads as zeros — lifetime counters are a
+    dashboard, never a gate.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        return CacheStats(
+            hits=max(0, int(document.get("hits", 0))),
+            misses=max(0, int(document.get("misses", 0))),
+            stores=max(0, int(document.get("stores", 0))),
+            evictions=max(0, int(document.get("evictions", 0))),
+        )
+    except (OSError, ValueError, TypeError, AttributeError):
+        return CacheStats()
+
+
+def merge_lifetime_stats(path: Path, delta: CacheStats,
+                         timeout: float = 5.0) -> bool:
+    """Atomically fold ``delta`` into the lifetime document at ``path``.
+
+    The read-modify-rename cycle runs under ``.stats.lock`` so concurrent
+    writers merge instead of overwriting each other.  Returns False —
+    without touching the document — when the lock cannot be taken or the
+    write fails, so the caller can retry the same delta later.
+    """
+    lock = FileLock(path.parent / ".stats.lock", timeout=timeout)
+    if not lock.acquire():
+        return False
+    try:
+        lifetime = read_lifetime_stats(path)
+        document = {
+            "hits": max(0, lifetime.hits + delta.hits),
+            "misses": max(0, lifetime.misses + delta.misses),
+            "stores": max(0, lifetime.stores + delta.stores),
+            "evictions": max(0, lifetime.evictions + delta.evictions),
+        }
+        try:
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=path.parent,
+                prefix=".stats-", suffix=".tmp", delete=False,
+            )
+            try:
+                with handle:
+                    json.dump(document, handle, sort_keys=True)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+    finally:
+        lock.release()

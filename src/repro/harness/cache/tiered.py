@@ -1,0 +1,78 @@
+"""Read-through/write-back composition of two stores (``tiered:`` scheme).
+
+The fleet/CI warm-cache story: a *local* writable tier backed by a
+*shared* tier treated as read-only.  Lookups try local first, then
+shared; a shared hit is written back into the local tier so the next
+lookup is local.  Writes, deletion, enumeration and maintenance address
+the local tier only — the shared directory (an NFS export, a CI cache
+volume, a teammate's directory) is never mutated.
+
+Counter discipline: the composed store owns the stats.  Tier lookups go
+through the sub-stores' uncounted ``peek``/``_read`` path, so one logical
+lookup counts exactly once, at this store — regardless of which tier
+served it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.harness.cache.store import MISS, CacheStore
+
+__all__ = ["TieredStore"]
+
+
+class TieredStore(CacheStore):
+    """A writable ``local`` store read-through-backed by a ``shared`` one."""
+
+    def __init__(self, local: CacheStore, shared: CacheStore,
+                 tracer=None) -> None:
+        super().__init__(tracer=tracer)
+        self.local = local
+        self.shared = shared
+
+    # ------------------------------------------------------------------ #
+    # CacheStore backend hooks
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> object:
+        payload = self.local._read(key)
+        if payload is not MISS:
+            return payload
+        payload = self.shared._read(key)
+        if payload is MISS:
+            return MISS
+        # Write back so the next lookup is local.  Best-effort: a failed
+        # write-back still serves the shared hit.
+        try:
+            self.local._write(key, {"key": key, "metadata":
+                                    {"tier": "shared"}, "payload": payload})
+        except OSError:
+            pass
+        return payload
+
+    def _write(self, key: str, document: dict) -> object:
+        return self.local._write(key, document)
+
+    def contains(self, key: str) -> bool:
+        return self.local.contains(key) or self.shared.contains(key)
+
+    def delete(self, key: str) -> bool:
+        """Drop the local copy; the shared tier is read-only by contract."""
+        return self.local.delete(key)
+
+    def entries(self) -> Iterator:
+        return self.local.entries()
+
+    def size_bytes(self) -> int:
+        return self.local.size_bytes()
+
+    def clear(self) -> int:
+        return self.local.clear()
+
+    def evict(self, budget: int, block: bool = True):
+        return self.local.evict(budget, block=block)
+
+    @property
+    def stats_path(self) -> Optional[Path]:
+        return self.local.stats_path

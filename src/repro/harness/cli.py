@@ -12,6 +12,8 @@ Subcommands::
     python -m repro run all --cache-dir /tmp/repro-cache
     python -m repro sweep --experiment scaling_curves --cores 1,2,4,8
     python -m repro cache --stats / --clear
+    python -m repro cache evict --cache-budget 512M  # LRU shrink
+    python -m repro cache migrate                    # flat -> sharded
     python -m repro bench --events 1000000    # engine microbenchmark
     python -m repro trace summary trace.jsonl # digest a telemetry trace
 
@@ -60,7 +62,15 @@ manifest, phase/sweep/unit spans, cache and pool counters — as JSONL
 (:mod:`repro.harness.telemetry`); ``trace summary FILE`` digests such a
 file into per-phase wall-clock, unit-latency percentiles, cache hit ratio
 and the failure list.  ``cache --stats`` reports the cache directory's
-*lifetime* hit/miss/store counters alongside its entry count and size.
+*lifetime* hit/miss/store/evict counters alongside its entry count and
+size.
+
+``--cache-dir`` accepts a directory path or a backend spec (``mem:``,
+``dir:PATH``, ``sharded:PATH``, ``tiered:LOCAL|SHARED``), and
+``--cache-budget`` (default ``$REPRO_CACHE_BUDGET``) bounds the store
+with LRU eviction; ``cache evict`` shrinks explicitly and ``cache
+migrate`` rewrites a legacy flat layout in place — see
+``docs/caching.md``.
 
 Note the cache is keyed by configuration, case parameters and the package
 *version* — it cannot see source edits.  After changing simulator code
@@ -97,7 +107,7 @@ from repro.harness.bench import (
     PerfTrajectory,
     run_engine_bench,
 )
-from repro.harness.cache import ResultCache
+from repro.harness.cache import CACHE_BUDGET_ENV, open_store, resolve_budget
 from repro.harness.engine import ExperimentEngine
 from repro.harness.progress import NullProgress, Progress
 from repro.harness.sweep import SweepGrid
@@ -349,6 +359,7 @@ def _build_engine(args: argparse.Namespace, jobs: int,
         config=SimConfig(),
         jobs=jobs,
         cache_dir=cache_dir,
+        cache_budget=getattr(args, "cache_budget", None),
         artifact_dir=args.artifact_dir,
         progress=NullProgress() if args.quiet else Progress(),
         bench_path=args.bench_out,
@@ -363,8 +374,11 @@ def _print_cache_stats(engine: ExperimentEngine, quiet: bool) -> None:
     """Report hit/miss counters on stderr (suppressed by ``--quiet``)."""
     stats = engine.cache_stats
     if not quiet and stats.lookups:
+        evicted = (f", {stats.evictions} evicted"
+                   if getattr(stats, "evictions", 0) else "")
         print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es) "
-              f"({stats.hit_rate * 100:.0f}% hit rate)", file=sys.stderr)
+              f"({stats.hit_rate * 100:.0f}% hit rate){evicted}",
+              file=sys.stderr)
 
 
 def _print_failures(engine: ExperimentEngine) -> None:
@@ -469,9 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated cores per run (default: config)")
     run.add_argument("--num-tasks", type=int, default=None,
                      help="micro-benchmark task count for figures 6/7")
-    run.add_argument("--cache-dir", type=Path, default=None,
-                     help=f"result cache directory (default "
-                          f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    run.add_argument("--cache-dir", default=None, metavar="DIR_OR_SPEC",
+                     help=f"result cache directory or spec "
+                          f"(mem:, dir:, sharded:, tiered:LOCAL|SHARED; "
+                          f"default ${CACHE_DIR_ENV} or "
+                          f"{DEFAULT_CACHE_DIR})")
+    run.add_argument("--cache-budget", default=None, metavar="SIZE",
+                     help=f"cache size budget with LRU eviction, e.g. "
+                          f"512M (default ${CACHE_BUDGET_ENV} or "
+                          f"unbounded)")
     run.add_argument("--no-cache", action="store_true",
                      help="disable the result cache")
     run.add_argument("--artifact-dir", type=Path, default=None,
@@ -516,9 +536,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", "-j", type=int, default=None,
                        help=f"host processes for the grid (default "
                             f"${JOBS_ENV} or 1; never part of cache keys)")
-    sweep.add_argument("--cache-dir", type=Path, default=None,
-                       help=f"result cache directory (default "
-                            f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR_OR_SPEC",
+                       help=f"result cache directory or spec "
+                            f"(mem:, dir:, sharded:, tiered:LOCAL|SHARED; "
+                            f"default ${CACHE_DIR_ENV} or "
+                            f"{DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--cache-budget", default=None, metavar="SIZE",
+                       help=f"cache size budget with LRU eviction, e.g. "
+                            f"512M (default ${CACHE_BUDGET_ENV} or "
+                            f"unbounded)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
     sweep.add_argument("--artifact-dir", type=Path, default=None,
@@ -562,13 +588,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="only components carrying every "
                                      "listed tag")
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("--cache-dir", type=Path, default=None)
+    cache = sub.add_parser(
+        "cache", help="inspect, clear, evict or migrate the result cache")
+    cache.add_argument("cache_action", nargs="?", default=None,
+                       choices=("evict", "migrate"), metavar="ACTION",
+                       help="evict: shrink to --cache-budget (LRU); "
+                            "migrate: rewrite legacy flat entries into "
+                            "the sharded layout")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR_OR_SPEC")
+    cache.add_argument("--cache-budget", default=None, metavar="SIZE",
+                       help=f"size budget for 'evict' (e.g. 512M; "
+                            f"default ${CACHE_BUDGET_ENV})")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cache entry")
     cache.add_argument("--stats", action="store_true",
                        help="also report the directory's lifetime "
-                            "hit/miss/store counters")
+                            "hit/miss/store/evict counters")
 
     trace = sub.add_parser(
         "trace", help="inspect telemetry traces recorded with --trace")
@@ -602,6 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-pool", action="store_true",
                        help="skip the worker-pool warm-up/dispatch "
                             "overhead measurement")
+    bench.add_argument("--no-cache-bench", action="store_true",
+                       help="skip the cache get/put latency measurement")
     bench.add_argument("--output", type=Path, default=None,
                        help=f"trajectory file to append to (default "
                             f"{DEFAULT_TRAJECTORY}; use '-' to disable)")
@@ -680,14 +717,35 @@ def _cmd_components(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace, out) -> int:
-    """Report cache statistics, or wipe the cache with ``--clear``."""
+    """Inspect, clear, evict or migrate the result cache."""
     cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
-    cache = ResultCache(cache_dir)
+    cache = open_store(cache_dir, budget=args.cache_budget)
+    where = getattr(cache, "root", cache_dir)
+    if args.cache_action == "migrate":
+        migrate = getattr(cache, "migrate", None)
+        if migrate is None:
+            print(f"the {type(cache).__name__} backend has no layout to "
+                  f"migrate", file=sys.stderr)
+            return 1
+        migrated = migrate()
+        print(f"migrated {migrated} legacy entries in {where}", file=out)
+        return 0
+    if args.cache_action == "evict":
+        budget = resolve_budget(args.cache_budget)
+        if budget is None:
+            print("cache evict needs --cache-budget (or "
+                  f"${CACHE_BUDGET_ENV})", file=sys.stderr)
+            return 1
+        report = cache.evict(budget, block=True)
+        print(f"evicted {report['removed']} entries "
+              f"({report['freed_bytes'] / 1024:.1f} KiB) from {where}; "
+              f"now {report['size_bytes'] / 1024:.1f} KiB", file=out)
+        return 0
     if args.clear:
         removed = cache.clear()
-        print(f"removed {removed} entries from {cache.root}", file=out)
+        print(f"removed {removed} entries from {where}", file=out)
         return 0
-    print(f"cache directory: {cache.root}", file=out)
+    print(f"cache directory: {where}", file=out)
     print(f"entries: {len(cache)}", file=out)
     print(f"size: {cache.size_bytes() / 1024:.1f} KiB", file=out)
     if args.stats:
@@ -695,6 +753,8 @@ def _cmd_cache(args: argparse.Namespace, out) -> int:
         print(f"lifetime: {lifetime.hits} hit(s), "
               f"{lifetime.misses} miss(es), {lifetime.stores} store(s) "
               f"({lifetime.hit_rate * 100:.0f}% hit rate)", file=out)
+        if lifetime.evictions:
+            print(f"lifetime evictions: {lifetime.evictions}", file=out)
     return 0
 
 
@@ -725,6 +785,7 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             workload=args.workload,
             runtimes=args.runtimes,
             include_pool=not args.no_pool,
+            include_cache=not args.no_cache_bench,
         )
         if tracer is not None:
             tracer.event("bench.entry", **entry)
@@ -747,6 +808,18 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
             print(f"worker pool:        {pool['warmup_seconds']:.3f}s "
                   f"warm-up, {pool['dispatch_per_round_seconds'] * 1e3:.1f}ms"
                   f"/dispatch warm ({pool['workers']} workers)", file=out)
+        cache_bench = entry.get("cache")
+        if cache_bench:
+            for backend in ("flat", "sharded"):
+                numbers = cache_bench.get(backend)
+                if not numbers:
+                    continue
+                print(f"cache ({backend + '):':<10} "
+                      f"put p50={numbers['put_p50_seconds'] * 1e6:.0f}us "
+                      f"p95={numbers['put_p95_seconds'] * 1e6:.0f}us, "
+                      f"get p50={numbers['get_p50_seconds'] * 1e6:.0f}us "
+                      f"p95={numbers['get_p95_seconds'] * 1e6:.0f}us",
+                      file=out)
     if args.output is None or str(args.output) != "-":
         path = args.output if args.output is not None \
             else Path(DEFAULT_TRAJECTORY)

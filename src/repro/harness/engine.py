@@ -82,7 +82,7 @@ from repro.eval.scaling import (
 )
 from repro.harness.artifacts import ArtifactStore, decode, encode
 from repro.harness.bench import PerfTrajectory
-from repro.harness.cache import CacheStats, ResultCache
+from repro.harness.cache import CacheStats, CacheStore, open_store
 from repro.harness.executor import (
     ExecutorBackend,
     ProcessPoolBackend,
@@ -129,6 +129,7 @@ class ExperimentEngine:
         config: Optional[SimConfig] = None,
         jobs: int = 1,
         cache_dir: Optional[Path] = None,
+        cache_budget=None,
         artifact_dir: Optional[Path] = None,
         progress: Optional[Progress] = None,
         bench_path: Optional[Path] = None,
@@ -141,7 +142,12 @@ class ExperimentEngine:
         """Create an engine.
 
         ``jobs`` is the worker-pool width of the benchmark sweep;
-        ``cache_dir`` enables the on-disk result cache; ``artifact_dir``
+        ``cache_dir`` enables the result cache — a directory path, a
+        ``mem:``/``dir:``/``sharded:``/``tiered:`` spec string (see
+        :func:`repro.harness.cache.open_store`), or a pre-built
+        :class:`~repro.harness.cache.CacheStore`; ``cache_budget``
+        bounds its size (bytes or ``512M``-style string, LRU eviction,
+        default unbounded / ``$REPRO_CACHE_BUDGET``); ``artifact_dir``
         archives every experiment result as JSON; ``bench_path`` appends
         per-case sweep timings to a ``BENCH_engine.json`` trajectory, and
         ``run_label`` is recorded on every trajectory entry so bench data
@@ -172,8 +178,9 @@ class ExperimentEngine:
                 sinks.append(JsonlSink(trace_path))
             tracer = Tracer(sinks or [NullSink()])
         self.tracer = tracer
-        self.cache = (ResultCache(cache_dir, tracer=self.tracer)
-                      if cache_dir is not None else None)
+        self.cache: Optional[CacheStore] = (
+            open_store(cache_dir, tracer=self.tracer, budget=cache_budget)
+            if cache_dir is not None else None)
         self.artifacts = (ArtifactStore(artifact_dir)
                           if artifact_dir is not None else None)
         self.trajectory = (PerfTrajectory(bench_path)

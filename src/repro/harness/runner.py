@@ -30,7 +30,7 @@ with ``keep_going=True``, returns the completed runs (failed slots are
 failure list through the ``failures`` out-parameter.  Either way, every
 completed unit has already landed in the result cache.
 
-When a :class:`~repro.harness.cache.ResultCache` is supplied, each unit is
+When a :class:`~repro.harness.cache.CacheStore` is supplied, each unit is
 looked up before any work is scheduled and stored (JSON-encoded) as soon as
 it completes, so overlapping sweeps and re-runs only simulate the units they
 have never seen.  Cache keys canonicalise the worker count into the config
@@ -72,7 +72,7 @@ from repro.eval.experiments import (
     run_benchmark_case,
 )
 from repro.harness.artifacts import decode, encode
-from repro.harness.cache import ResultCache
+from repro.harness.cache import CacheStore
 from repro.harness.executor import (
     ExecutorBackend,
     ProcessPoolBackend,
@@ -249,7 +249,7 @@ def _execute_batch(payload: Tuple[Dict, Dict, Tuple, Dict],
     return outcomes
 
 
-def _decode_cached_run(cache: ResultCache, key: str) -> Optional[BenchmarkRun]:
+def _decode_cached_run(cache: CacheStore, key: str) -> Optional[BenchmarkRun]:
     """Decode a cached case run; schema-invalid entries become misses."""
     payload = cache.get(key)
     if payload is None:
@@ -378,7 +378,7 @@ def _run_units(
     units: Sequence[CaseUnit],
     timing_keys: Sequence[str],
     jobs: int,
-    cache: Optional[ResultCache],
+    cache: Optional[CacheStore],
     progress: Optional[Progress],
     timings: Optional[Dict[str, float]],
     title: str,
@@ -487,7 +487,7 @@ def run_cases(
     cases: Sequence[BenchmarkCase],
     num_workers: int,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[CacheStore] = None,
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
     runtimes: Optional[Sequence[str]] = None,
@@ -538,7 +538,7 @@ def run_cases(
 def run_case_grid(
     units: Sequence[CaseUnit],
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: Optional[CacheStore] = None,
     progress: Optional[Progress] = None,
     timings: Optional[Dict[str, float]] = None,
     executor: Optional[ExecutorBackend] = None,
