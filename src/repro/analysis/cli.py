@@ -1,0 +1,175 @@
+"""Command-line front end for the invariant linter.
+
+Shared by the ``repro lint`` harness subcommand and the standalone
+``python -m repro.analysis`` entry point.  Exit-code contract:
+
+* ``0`` — no findings (or nothing to lint),
+* ``1`` — at least one finding,
+* ``2`` — usage error (unknown rule, unreadable path, broken git ref).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.core import LintError, iter_python_files, lint_files
+from repro.analysis.registry import all_rules, select_rules
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "changed_files", "main"]
+
+#: Directories linted when no explicit paths are given (first layout that
+#: exists wins for the package tree).
+_DEFAULT_PACKAGE_DIRS = ("src/repro", "repro")
+_DEFAULT_EXTRA_DIRS = ("examples",)
+
+#: Fallback chain for ``--changed`` when the requested ref is absent
+#: (fresh clones often lack ``origin/main``).
+_REF_FALLBACKS = ("origin/main", "main", "master", "HEAD")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared by both entries)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro + examples)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--rule", dest="rules", action="append", metavar="RULE",
+        help="run only this rule (repeatable; default: all rules)")
+    parser.add_argument(
+        "--changed", nargs="?", const="origin/main", default=None,
+        metavar="REF",
+        help="lint only files differing from REF (default origin/main, "
+             "falling back to main/HEAD), plus untracked files")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root for path scoping (default: cwd)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+
+
+def _git(root: Path, *argv: str) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        ["git", *argv], cwd=str(root), capture_output=True, text=True)
+
+
+def _resolve_ref(root: Path, ref: str, stderr: TextIO) -> Optional[str]:
+    candidates = [ref] + [r for r in _REF_FALLBACKS if r != ref]
+    for candidate in candidates:
+        probe = _git(root, "rev-parse", "--verify", "--quiet",
+                     f"{candidate}^{{commit}}")
+        if probe.returncode == 0:
+            if candidate != ref:
+                stderr.write(
+                    f"repro lint: ref {ref!r} not found, comparing against "
+                    f"{candidate!r}\n")
+            return candidate
+    return None
+
+
+def changed_files(root: Path, ref: str,
+                  stderr: Optional[TextIO] = None) -> List[Path]:
+    """Python files differing from ``ref`` plus untracked ones.
+
+    Raises :class:`LintError` when ``root`` is not a git work tree or no
+    candidate ref resolves.
+    """
+    stderr = sys.stderr if stderr is None else stderr
+    inside = _git(root, "rev-parse", "--is-inside-work-tree")
+    if inside.returncode != 0:
+        raise LintError(f"--changed requires a git work tree at {root}")
+    resolved = _resolve_ref(root, ref, stderr)
+    if resolved is None:
+        raise LintError(
+            f"--changed: none of {ref!r} or fallbacks "
+            f"{', '.join(_REF_FALLBACKS)} resolve to a commit")
+    names: List[str] = []
+    diff = _git(root, "diff", "--name-only", resolved, "--", "*.py")
+    if diff.returncode != 0:
+        raise LintError(f"git diff failed: {diff.stderr.strip()}")
+    names.extend(diff.stdout.splitlines())
+    untracked = _git(root, "ls-files", "--others", "--exclude-standard",
+                     "--", "*.py")
+    if untracked.returncode == 0:
+        names.extend(untracked.stdout.splitlines())
+    files: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name or name in seen:
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            files.append(path)
+    return sorted(files)
+
+
+def _default_paths(root: Path) -> List[Path]:
+    paths: List[Path] = []
+    for candidate in _DEFAULT_PACKAGE_DIRS:
+        directory = root / candidate
+        if directory.is_dir():
+            paths.append(directory)
+            break
+    for candidate in _DEFAULT_EXTRA_DIRS:
+        directory = root / candidate
+        if directory.is_dir():
+            paths.append(directory)
+    return paths
+
+
+def run_lint(args: argparse.Namespace,
+             stdout: Optional[TextIO] = None,
+             stderr: Optional[TextIO] = None) -> int:
+    """Execute the lint run described by parsed ``args``."""
+    # Resolve the streams at call time so pytest capture (and callers
+    # that rebind sys.stdout) see the output.
+    stdout = sys.stdout if stdout is None else stdout
+    stderr = sys.stderr if stderr is None else stderr
+    if args.list_rules:
+        for rule_id, lint_rule in all_rules().items():
+            stdout.write(f"{rule_id:16s} {lint_rule.description}\n")
+        return 0
+    root = (args.root or Path.cwd()).resolve()
+    try:
+        rules = select_rules(args.rules)
+        if args.changed is not None:
+            if args.paths:
+                raise LintError(
+                    "--changed and explicit paths are mutually exclusive")
+            files = changed_files(root, args.changed, stderr)
+        else:
+            paths = args.paths or _default_paths(root)
+            if not paths:
+                raise LintError(
+                    f"nothing to lint under {root} (no src/repro, repro "
+                    "or examples directory); pass explicit paths")
+            files = iter_python_files(paths)
+        findings = lint_files(files, root, rules)
+    except LintError as exc:
+        stderr.write(f"repro lint: {exc}\n")
+        return 2
+    if args.format == "json":
+        stdout.write(render_json(findings, len(files),
+                                 [r.id for r in rules]))
+    else:
+        render_text(findings, len(files), stdout)
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro tree")
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)

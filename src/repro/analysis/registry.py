@@ -1,0 +1,68 @@
+"""Rule registry for the invariant linter.
+
+Mirrors the decorator idiom of :mod:`repro.registry`: rules are classes
+decorated with :func:`register_rule`, the registry lazily imports the
+built-in rule package on first lookup, and unknown names fail with a
+did-you-mean suggestion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.analysis.core import LintError, LintRule
+from repro.registry import suggest
+
+__all__ = ["register_rule", "rule", "rule_ids", "all_rules"]
+
+_RULES: Dict[str, LintRule] = {}
+_populated = False
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate ``cls`` and add it to the registry."""
+    instance = cls()
+    if not instance.id:
+        raise LintError(f"lint rule {cls.__name__} declares no id")
+    if instance.id in _RULES:
+        raise LintError(f"duplicate lint rule id {instance.id!r}")
+    _RULES[instance.id] = instance
+    return cls
+
+
+def _ensure_populated() -> None:
+    global _populated
+    if _populated:
+        return
+    _populated = True
+    # Importing the package registers every built-in rule as a side effect.
+    import repro.analysis.rules  # noqa: F401
+
+
+def rule(rule_id: str) -> LintRule:
+    """Look up one rule by id; raise with a suggestion if unknown."""
+    _ensure_populated()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        hint = suggest(rule_id, _RULES)
+        raise LintError(f"unknown lint rule {rule_id!r}{hint}") from None
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_populated()
+    return sorted(_RULES)
+
+
+def all_rules() -> Dict[str, LintRule]:
+    """Mapping of rule id to rule instance, in sorted-id order."""
+    _ensure_populated()
+    return {rule_id: _RULES[rule_id] for rule_id in sorted(_RULES)}
+
+
+def select_rules(rule_names: Optional[List[str]]) -> List[LintRule]:
+    """Resolve a ``--rule`` selection (``None`` means every rule)."""
+    if not rule_names:
+        return list(all_rules().values())
+    return [rule(name) for name in rule_names]

@@ -1,0 +1,83 @@
+"""Text and JSON reporters for lint findings.
+
+The JSON document is schema-versioned so CI consumers can parse it
+defensively; :func:`parse_report` round-trips it back into
+:class:`~repro.analysis.core.Finding` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, TextIO
+
+from repro.analysis.core import Finding, LintError
+
+__all__ = ["REPORT_SCHEMA", "render_text", "render_json", "parse_report"]
+
+#: Bump when the JSON report layout changes incompatibly.
+REPORT_SCHEMA = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int,
+                stream: TextIO) -> None:
+    """Human-readable report: one ``file:line:col`` line per finding."""
+    for found in findings:
+        stream.write(found.describe() + "\n")
+        if found.hint:
+            stream.write(f"    hint: {found.hint}\n")
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        stream.write(
+            f"{len(findings)} finding(s) in {files_checked} {noun} checked\n")
+    else:
+        stream.write(f"clean: {files_checked} {noun} checked\n")
+
+
+def render_json(findings: Sequence[Finding], files_checked: int,
+                rules: Sequence[str]) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    document = {
+        "schema": REPORT_SCHEMA,
+        "tool": "repro-lint",
+        "files_checked": files_checked,
+        "rules": sorted(rules),
+        "clean": not findings,
+        "findings": [
+            {
+                "rule": found.rule,
+                "file": found.file,
+                "line": found.line,
+                "col": found.col,
+                "message": found.message,
+                "hint": found.hint,
+            }
+            for found in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def parse_report(text: str) -> Dict[str, Any]:
+    """Parse a JSON report; ``findings`` come back as :class:`Finding`.
+
+    Raises :class:`~repro.analysis.core.LintError` on schema mismatch so
+    CI consumers fail loudly instead of mis-reading a future layout.
+    """
+    document = json.loads(text)
+    if document.get("schema") != REPORT_SCHEMA:
+        raise LintError(
+            f"unsupported lint report schema {document.get('schema')!r} "
+            f"(expected {REPORT_SCHEMA})")
+    findings: List[Finding] = [
+        Finding(
+            rule=entry["rule"],
+            file=entry["file"],
+            line=entry["line"],
+            col=entry["col"],
+            message=entry["message"],
+            hint=entry.get("hint", ""),
+        )
+        for entry in document.get("findings", [])
+    ]
+    document["findings"] = findings
+    return document

@@ -1,0 +1,9 @@
+"""Built-in lint rules; importing this package registers all of them."""
+
+from repro.analysis.rules import (  # noqa: F401
+    cachekey,
+    determinism,
+    hotpath,
+    spawn,
+    telemetry,
+)

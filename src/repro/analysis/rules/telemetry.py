@@ -1,0 +1,75 @@
+"""Telemetry hygiene rule: structured spans, declared counter names.
+
+Two invariants keep trace files trustworthy:
+
+* spans are opened and closed through the ``with tracer.span(...)``
+  context manager so an exception can never leave a span dangling —
+  direct ``start_span`` / ``end_span`` calls outside
+  ``repro/harness/telemetry.py`` need an explicitly-commented pragma
+  (the run-span lifecycle in the harness engine is the one such case),
+* counter names passed to ``Tracer.count()`` come from the single
+  declared :data:`repro.harness.telemetry.COUNTER_NAMES` set, so a typo
+  cannot mint a phantom metric series.  The same frozenset is validated
+  at runtime by ``Tracer.count()`` — rule and runtime share one source
+  of truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.core import FileContext, Finding, LintRule
+from repro.analysis.registry import register_rule
+from repro.harness.telemetry import COUNTER_NAMES
+
+#: The one file allowed to touch the raw span machinery.
+_TELEMETRY_FILE = "repro/harness/telemetry.py"
+
+_SPAN_CALLS = frozenset({"start_span", "end_span"})
+
+
+def _receiver_tail(node: ast.AST) -> Optional[str]:
+    """Last segment of the receiver chain of an attribute access."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@register_rule
+class TelemetryRule(LintRule):
+    id = "telemetry"
+    description = ("tracer spans only via the context manager; counter "
+                   "names drawn from COUNTER_NAMES")
+    hint = ("use 'with tracer.span(...)'; add new counter names to "
+            "COUNTER_NAMES in repro/harness/telemetry.py")
+    paths = ("repro/*",)
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> Iterable[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _SPAN_CALLS and ctx.relpath != _TELEMETRY_FILE:
+            yield self.finding(
+                ctx, node,
+                f".{func.attr}() called outside the span context manager",
+                hint="wrap the region in 'with tracer.span(kind, name): ...'")
+            return
+        if func.attr == "count":
+            tail = _receiver_tail(func.value)
+            if tail not in ("tracer", "_tracer"):
+                return
+        elif func.attr != "_count":
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in COUNTER_NAMES:
+                yield self.finding(
+                    ctx, node,
+                    f"counter name {first.value!r} is not declared in "
+                    "COUNTER_NAMES")

@@ -644,6 +644,13 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{DEFAULT_TRAJECTORY}; use '-' to disable)")
     bench.add_argument("--format", choices=("text", "json"), default="text",
                        help="report format (default text)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST invariant linter (determinism, hot-path, cache-key, "
+             "spawn-safety, telemetry rules)")
+    from repro.analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
     return parser
 
 
@@ -769,30 +776,28 @@ def _cmd_trace(args: argparse.Namespace, out) -> int:
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     """Run the engine microbenchmark and append it to the trajectory."""
     trace_path = _resolve_trace(args)
-    tracer = None
+    from repro.harness.telemetry import JsonlSink, Tracer, null_tracer
     if trace_path is not None:
-        from repro.harness.telemetry import JsonlSink, Tracer
         tracer = Tracer([JsonlSink(trace_path)])
-        bench_span = tracer.start_span("bench", "phase",
-                                       events=args.events,
-                                       repeats=args.repeats)
+    else:
+        tracer = null_tracer()
     try:
-        entry = run_engine_bench(
-            num_events=args.events,
-            include_case=not args.no_case,
-            config=SimConfig(),
-            repeats=args.repeats,
-            workload=args.workload,
-            runtimes=args.runtimes,
-            include_pool=not args.no_pool,
-            include_cache=not args.no_cache_bench,
-        )
-        if tracer is not None:
-            tracer.event("bench.entry", **entry)
+        with tracer.span("bench", "phase", events=args.events,
+                         repeats=args.repeats):
+            entry = run_engine_bench(
+                num_events=args.events,
+                include_case=not args.no_case,
+                config=SimConfig(),
+                repeats=args.repeats,
+                workload=args.workload,
+                runtimes=args.runtimes,
+                include_pool=not args.no_pool,
+                include_cache=not args.no_cache_bench,
+            )
+            if trace_path is not None:
+                tracer.event("bench.entry", **entry)
     finally:
-        if tracer is not None:
-            tracer.end_span(bench_span)
-            tracer.close()
+        tracer.close()
     if args.format == "json":
         print(json.dumps(entry, indent=2, sort_keys=True), file=out)
     else:
@@ -961,6 +966,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args, sys.stdout)
         if args.command == "bench":
             return _cmd_bench(args, sys.stdout)
+        if args.command == "lint":
+            from repro.analysis.cli import run_lint
+            return run_lint(args, sys.stdout, sys.stderr)
         if args.command == "sweep":
             return _cmd_sweep(args, sys.stdout)
         return _cmd_run(args, sys.stdout)

@@ -55,9 +55,10 @@ def _jsonable(value: object) -> object:
     """Canonical JSON form of ``value`` (raises for unsupported types)."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {name: _jsonable(item)
-                for name, item in dataclasses.asdict(value).items()}
+                for name, item in sorted(dataclasses.asdict(value).items())}
     if isinstance(value, Mapping):
-        return {str(key): _jsonable(item) for key, item in value.items()}
+        return {str(key): _jsonable(item)
+                for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
     if isinstance(value, (str, int, float, bool)) or value is None:

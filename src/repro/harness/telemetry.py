@@ -60,6 +60,7 @@ from repro.harness.progress import NullProgress, Progress
 
 __all__ = [
     "TRACE_SCHEMA",
+    "COUNTER_NAMES",
     "TelemetrySink",
     "NullSink",
     "JsonlSink",
@@ -194,6 +195,27 @@ class SpanHandle:
         return self
 
 
+#: Every counter name the harness may emit.  ``Tracer.count()`` validates
+#: against this set at runtime and the ``telemetry`` lint rule validates
+#: string literals statically, so the two enforcement layers share one
+#: source of truth and a typo cannot mint a phantom metric series.
+COUNTER_NAMES = frozenset({
+    "cache.hits",
+    "cache.misses",
+    "cache.stores",
+    "cache.evictions",
+    "cache.evicted_bytes",
+    "cache.read_seconds",
+    "cache.write_seconds",
+    "pool.starts",
+    "pool.dispatches",
+    "pool.rebuilds",
+    "pool.retries",
+    "sweep.retries",
+    "sweep.unit_failures",
+})
+
+
 class Tracer:
     """Emits hierarchical spans and counters to a set of sinks.
 
@@ -202,7 +224,7 @@ class Tracer:
     name → number accumulators snapshotted by :meth:`emit_counters`.  A
     tracer whose sinks are all :class:`NullSink` is *inactive*: spans
     still nest (so counters and structure stay correct) but no record is
-    built or emitted.
+    built or emitted.  Counter names must come from :data:`COUNTER_NAMES`.
     """
 
     def __init__(self,
@@ -224,7 +246,16 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def count(self, name: str, value: float = 1) -> None:
-        """Add ``value`` to counter ``name`` (created at zero)."""
+        """Add ``value`` to counter ``name`` (created at zero).
+
+        ``name`` must be declared in :data:`COUNTER_NAMES`; rejecting
+        unknown names here keeps the metric namespace closed so a typo
+        shows up as a crash in tests, not as a phantom series in traces.
+        """
+        if name not in COUNTER_NAMES:
+            raise ValueError(
+                f"unknown telemetry counter {name!r}; declare it in "
+                "repro.harness.telemetry.COUNTER_NAMES")
         self.counters[name] = self.counters.get(name, 0) + value
 
     # ----------------------------- spans ------------------------------ #

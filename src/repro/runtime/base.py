@@ -87,6 +87,11 @@ class RuntimeResult:
 class Runtime(abc.ABC):
     """Common driver logic shared by every runtime model."""
 
+    # Concrete subclasses that add instance state keep their __dict__
+    # unless they declare __slots__ themselves; the base attributes stay
+    # slotted either way.
+    __slots__ = ("config", "stats")
+
     #: Short identifier used in reports ("serial", "nanos-sw", "phentos", ...).
     name: str = "abstract"
 

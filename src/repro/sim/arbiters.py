@@ -36,6 +36,9 @@ class RoundRobinArbiter:
     data and the output has room; the arbiter is otherwise idle.
     """
 
+    __slots__ = ("engine", "inputs", "output", "cycles_per_grant", "name",
+                 "grants", "_next_index", "_busy")
+
     def __init__(
         self,
         engine: Engine,
@@ -103,6 +106,9 @@ class InOrderArbiter:
     ordering guarantee of the paper's Work-Fetch Arbiter.
     """
 
+    __slots__ = ("engine", "request_queue", "serve", "cycles_per_grant",
+                 "name", "grants", "_process")
+
     def __init__(
         self,
         engine: Engine,
@@ -138,6 +144,9 @@ class GuidedArbiter:
     mirrors the Guided Arbiter inside the Submission Handler, which keeps
     task-descriptor packet sequences from different cores from interleaving.
     """
+
+    __slots__ = ("engine", "num_requesters", "name", "current_owner",
+                 "remaining_beats", "_pending", "sequences_completed")
 
     def __init__(self, engine: Engine, num_requesters: int,
                  name: str = "guided_arbiter") -> None:

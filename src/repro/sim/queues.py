@@ -32,6 +32,11 @@ T = TypeVar("T")
 class DecoupledQueue(Generic[T]):
     """A bounded FIFO with ready/valid semantics and blocking process access."""
 
+    __slots__ = ("engine", "capacity", "name", "_items", "_put_waiters",
+                 "_get_waiters", "total_enqueued", "total_dequeued",
+                 "high_watermark", "_enqueue_observers",
+                 "_dequeue_observers", "selector")
+
     def __init__(self, engine: Engine, capacity: int, name: str = "queue") -> None:
         if capacity <= 0:
             raise QueueError(f"queue capacity must be positive, got {capacity}")
@@ -226,6 +231,8 @@ class ProtocolCrossingQueue(DecoupledQueue[T]):
     cycles before exposing them to consumers.
     """
 
+    __slots__ = ("delay", "_in_flight")
+
     def __init__(self, engine: Engine, capacity: int, delay: int = 1,
                  name: str = "crossing") -> None:
         super().__init__(engine, capacity, name)
@@ -243,7 +250,9 @@ class ProtocolCrossingQueue(DecoupledQueue[T]):
         return len(self._items) + self._in_flight >= self.capacity
 
     def try_put(self, item: T) -> bool:
-        if self.full:
+        # Hot path: the ``full`` property body is inlined (in-flight items
+        # count against capacity) to skip the descriptor call per put.
+        if len(self._items) + self._in_flight >= self.capacity:
             return False
         if self.delay == 0:
             self._enqueue(item)
@@ -263,7 +272,8 @@ class ProtocolCrossingQueue(DecoupledQueue[T]):
             self._put_waiters.append((process, item))
 
     def _wake_putters(self) -> None:
-        while self._put_waiters and not self.full:
+        while (self._put_waiters
+               and len(self._items) + self._in_flight < self.capacity):
             process, item = self._put_waiters.popleft()
             if self.delay == 0:
                 self._items.append(item)
